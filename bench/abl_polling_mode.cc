@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation: FPGA polling mode (§4.4.1).
+ *
+ * "Dagger starts by polling its local cache which is coherent with
+ * the processor's LLC ... However, since the FPGA allocates data in
+ * its local cache in this case, it causes the CPU to lose ownership
+ * of the corresponding cache lines therefore hurting the data
+ * transfer's efficiency.  For this reason, Dagger dynamically
+ * switches to direct polling of the processor's LLC when the load
+ * becomes high."
+ *
+ * We pin each mode and compare: local-cache polling is
+ * lower-latency at light load; LLC polling is cheaper per request at
+ * saturation; the dynamic switch gets both.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::bench;
+
+enum class Mode { ForcedLocal, ForcedLlc, Dynamic };
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::ForcedLocal:
+        return "local-cache";
+      case Mode::ForcedLlc:
+        return "LLC-direct";
+      case Mode::Dynamic:
+        return "dynamic";
+    }
+    return "?";
+}
+
+std::unique_ptr<EchoRig>
+makeRig(Mode m)
+{
+    EchoRig::Options opt;
+    opt.batch = 4;
+    opt.threads = 1;
+    auto rig = std::make_unique<EchoRig>(opt);
+    for (std::size_t n = 0; n < 2; ++n) {
+        auto &soft = rig->system().node(n).nicDev().softConfig();
+        auto &port = rig->system().node(n).nicDev().cciPort();
+        switch (m) {
+          case Mode::ForcedLocal:
+            soft.llcPollThresholdMrps = 1e9; // never switch
+            port.setPollMode(ic::PollMode::LocalCache);
+            break;
+          case Mode::ForcedLlc:
+            soft.llcPollThresholdMrps = 0.0; // switch immediately
+            port.setPollMode(ic::PollMode::Llc);
+            break;
+          case Mode::Dynamic:
+            break; // default threshold
+        }
+    }
+    return rig;
+}
+
+} // namespace
+
+int
+main()
+{
+    tableHeader("Ablation: FPGA polling mode (local coherent cache vs "
+                "processor LLC)",
+                "mode           low-load p50(us)   saturation Mrps");
+
+    double lowload[3], peak[3];
+    int i = 0;
+    for (Mode m : {Mode::ForcedLocal, Mode::ForcedLlc, Mode::Dynamic}) {
+        {
+            auto rig = makeRig(m);
+            Point p =
+                rig->offer(0.5, sim::msToTicks(1), sim::msToTicks(6));
+            lowload[i] = p.p50_us;
+        }
+        {
+            auto rig = makeRig(m);
+            Point p = rig->saturate(96);
+            peak[i] = p.mrps;
+        }
+        std::printf("%-14s %16.2f %17.2f\n", modeName(m), lowload[i],
+                    peak[i]);
+        ++i;
+    }
+
+    bool ok = true;
+    ok &= shapeCheck("local-cache polling wins at light load (latency)",
+                     lowload[0] < lowload[1]);
+    ok &= shapeCheck("LLC polling wins at saturation (CPU efficiency)",
+                     peak[1] > peak[0] * 1.02);
+    ok &= shapeCheck("dynamic switch ~ best of both: latency",
+                     lowload[2] < lowload[1] + 0.15);
+    ok &= shapeCheck("dynamic switch ~ best of both: throughput",
+                     peak[2] > 0.97 * peak[1]);
+    return ok ? 0 : 1;
+}

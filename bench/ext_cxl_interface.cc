@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension: the CXL outlook of §4.3 and §6, implemented.
+ *
+ * "Some specifications, such as the upcoming peripheral memory
+ * interconnect CXL, allow non-cacheable writes to the device memory,
+ * meaning that the CPU can directly write RPCs to the NIC, so in
+ * addition to improved CPU efficiency, the model also reduces
+ * latency, since only one bus transaction is required to send data to
+ * the device."  The paper could not evaluate this (no CXL FPGA IP in
+ * 2021); the model here projects it: direct device writes remove the
+ * invalidation/poll round trip and all host-buffer bookkeeping.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+int
+main()
+{
+    using namespace dagger;
+    using namespace dagger::bench;
+
+    tableHeader("Extension: projected CXL interface vs UPI (64B RPCs, "
+                "single core)",
+                "interface   low-load p50(us)  p99(us)   saturation Mrps");
+
+    struct Row
+    {
+        const char *label;
+        ic::IfaceKind iface;
+        unsigned batch;
+        Point lat;
+        double sat;
+    };
+    Row rows[] = {
+        {"UPI B=1", ic::IfaceKind::Upi, 1, {}, 0},
+        {"UPI B=4", ic::IfaceKind::Upi, 4, {}, 0},
+        {"CXL B=1", ic::IfaceKind::Cxl, 1, {}, 0},
+        {"CXL B=4", ic::IfaceKind::Cxl, 4, {}, 0},
+    };
+
+    for (Row &row : rows) {
+        EchoRig::Options opt;
+        opt.iface = row.iface;
+        opt.batch = row.batch;
+        opt.threads = 1;
+        {
+            EchoRig rig(opt);
+            row.lat = rig.offer(0.5, sim::msToTicks(1), sim::msToTicks(6));
+        }
+        {
+            EchoRig rig(opt);
+            row.sat = rig.saturate(96).mrps;
+        }
+        std::printf("%-11s %15.2f %8.2f %17.2f\n", row.label,
+                    row.lat.p50_us, row.lat.p99_us, row.sat);
+    }
+
+    bool ok = true;
+    ok &= shapeCheck("CXL cuts the B=1 RTT below UPI (one transaction)",
+                     rows[2].lat.p50_us < rows[0].lat.p50_us - 0.2);
+    ok &= shapeCheck("CXL needs no batching to reach UPI-B4 throughput",
+                     rows[2].sat > 0.95 * rows[1].sat);
+    ok &= shapeCheck("CXL B=1 throughput beats UPI B=1 (no bookkeeping)",
+                     rows[2].sat > 1.3 * rows[0].sat);
+    ok &= shapeCheck("batching adds little on top of CXL",
+                     rows[3].lat.p50_us + 0.05 >= rows[2].lat.p50_us);
+    return ok ? 0 : 1;
+}

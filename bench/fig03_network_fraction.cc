@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Fig. 3: networking (RPC + TCP processing) as a fraction
+ * of median and 99th-percentile latency for six Social Network tiers
+ * (s1 Media .. s6 UrlShorten) and end-to-end, at increasing load.
+ *
+ * Paper claims: "Across all tiers, communication accounts for a
+ * significant fraction of a microservice's latency, 40% on average,
+ * and up to 80% for the light in terms of computation User and
+ * UniqueID tiers"; the fraction grows with load through queueing, and
+ * for some services the RPC layer exceeds the TCP/IP stack at the
+ * tail.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "svc/socialnet.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::bench;
+using svc::SocialNet;
+using svc::SocialNetConfig;
+
+struct TierShare
+{
+    double tcp_pct;
+    double rpc_pct;
+    double app_pct;
+};
+
+TierShare
+shareOf(const baseline::ServeBreakdown &b, double pct)
+{
+    const double tcp = static_cast<double>(b.transport.percentile(pct));
+    const double rpc = static_cast<double>(b.rpc.percentile(pct));
+    const double app = static_cast<double>(b.app.percentile(pct));
+    const double total = tcp + rpc + app;
+    if (total <= 0)
+        return {0, 0, 0};
+    return {100.0 * tcp / total, 100.0 * rpc / total, 100.0 * app / total};
+}
+
+} // namespace
+
+int
+main()
+{
+    bool ok = true;
+    double user_net_low = 0, text_net_low = 0, sum_net_low = 0;
+    double text_rpc99_low = 0, text_rpc99_high = 0;
+
+    for (double qps : {200.0, 400.0, 600.0, 800.0}) {
+        SocialNet sn;
+        sn.run(qps, sim::msToTicks(400));
+
+        std::printf("\n=== Fig. 3 @ QPS=%.0f: %% of latency in "
+                    "TCP / RPC / app (median | p99) ===\n",
+                    qps);
+        double net_sum = 0;
+        for (unsigned t = 0; t < svc::kSnTiers; ++t) {
+            TierShare med = shareOf(sn.tierBreakdown(t), 50);
+            TierShare tail = shareOf(sn.tierBreakdown(t), 99);
+            std::printf("%-15s med: %4.0f/%4.0f/%4.0f   p99: "
+                        "%4.0f/%4.0f/%4.0f\n",
+                        svc::snTierName(t), med.tcp_pct, med.rpc_pct,
+                        med.app_pct, tail.tcp_pct, tail.rpc_pct,
+                        tail.app_pct);
+            net_sum += med.tcp_pct + med.rpc_pct;
+            if (qps == 200) {
+                if (t == 1)
+                    user_net_low = med.tcp_pct + med.rpc_pct;
+                if (t == 3) {
+                    text_net_low = med.tcp_pct + med.rpc_pct;
+                    text_rpc99_low = tail.rpc_pct;
+                }
+            }
+            if (qps == 800 && t == 3)
+                text_rpc99_high = tail.rpc_pct;
+        }
+        if (qps == 200)
+            sum_net_low = net_sum / svc::kSnTiers;
+        std::printf("e2e p50 = %.0f us, p99 = %.0f us (%llu requests)\n",
+                    sim::ticksToUs(sn.e2eLatency().percentile(50)),
+                    sim::ticksToUs(sn.e2eLatency().percentile(99)),
+                    static_cast<unsigned long long>(sn.completed()));
+    }
+
+    std::printf("\n");
+    ok &= shapeCheck("networking ~40% of tier latency on average "
+                     "(paper: 40%)",
+                     sum_net_low > 25.0 && sum_net_low < 65.0);
+    ok &= shapeCheck("light User tier is networking-dominated "
+                     "(paper: up to 80%)",
+                     user_net_low > 60.0);
+    ok &= shapeCheck("compute-heavy Text tier is app-dominated",
+                     text_net_low < 30.0);
+    ok &= shapeCheck("RPC-layer share grows with load (queueing, §3.1)",
+                     text_rpc99_high > text_rpc99_low);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Fig. 4: the distribution of RPC request and response
+ * sizes in the Social Network application (left: aggregate CDFs;
+ * right: per-service size breakdown).
+ *
+ * Paper anchors: "75% of all RPC requests are smaller than 512B.
+ * Responses are even more compact, with more than 90% of packets
+ * being smaller then 64B"; "the median RPC size in the Text service
+ * is 580B, while the Media, User, and UniqueID services never have
+ * RPCs larger than 64B".
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "svc/socialnet.hh"
+
+int
+main()
+{
+    using namespace dagger;
+    using namespace dagger::bench;
+
+    svc::SocialNet sn;
+    sn.run(400, sim::msToTicks(500));
+
+    tableHeader("Fig. 4 (left): CDF of RPC sizes",
+                "percentile   request(B)   response(B)");
+    for (double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        std::printf("%9.0f%% %12llu %13llu\n", pct,
+                    static_cast<unsigned long long>(
+                        sn.allRequestSizes().percentile(pct)),
+                    static_cast<unsigned long long>(
+                        sn.allResponseSizes().percentile(pct)));
+    }
+
+    tableHeader("Fig. 4 (right): per-service request sizes",
+                "service          p50(B)   p99(B)   max(B)");
+    for (unsigned t = 0; t < svc::kSnTiers; ++t) {
+        const auto &h = sn.requestSize(t);
+        std::printf("%-15s %7llu %8llu %8llu\n", svc::snTierName(t),
+                    static_cast<unsigned long long>(h.percentile(50)),
+                    static_cast<unsigned long long>(h.percentile(99)),
+                    static_cast<unsigned long long>(h.max()));
+    }
+
+    bool ok = true;
+    ok &= shapeCheck("75% of requests are < 512B (paper)",
+                     sn.allRequestSizes().percentile(75) < 512);
+    ok &= shapeCheck(">90% of responses are <= 64B (paper)",
+                     sn.allResponseSizes().percentile(90) <= 64 + 6);
+    const auto text_med = sn.requestSize(3).percentile(50);
+    ok &= shapeCheck("Text's median RPC ~580B (paper)",
+                     text_med > 400 && text_med < 800);
+    ok &= shapeCheck("Media/User/UniqueID never exceed 64B (paper)",
+                     sn.requestSize(0).max() <= 64 &&
+                         sn.requestSize(1).max() <= 64 &&
+                         sn.requestSize(2).max() <= 64);
+    ok &= shapeCheck("size diversity across tiers (one-size-fits-all is "
+                     "a poor fit, §3.2)",
+                     sn.requestSize(3).percentile(50) >
+                         8 * sn.requestSize(1).percentile(50));
+    return ok ? 0 : 1;
+}

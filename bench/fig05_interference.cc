@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 5: end-to-end latency when network interrupt
+ * processing shares CPU cores with the application logic (shaded
+ * bars) versus running on dedicated cores (solid bars).
+ *
+ * Paper: "when both application logic and network processing contend
+ * for the same CPU resources, end-to-end latency (both median and
+ * tail) suffers. ... interference becomes worse as the system load
+ * increases, especially when it comes to tail latency."
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "svc/socialnet.hh"
+
+int
+main()
+{
+    using namespace dagger;
+    using namespace dagger::bench;
+
+    tableHeader("Fig. 5: isolated vs colocated network processing",
+                "QPS    isolated p50/p99 (us)     colocated p50/p99 (us)"
+                "   p99 ratio");
+
+    struct Pair
+    {
+        double iso_p50, iso_p99, col_p50, col_p99;
+    };
+    std::vector<Pair> rows;
+
+    for (double qps : {200.0, 400.0, 600.0}) {
+        svc::SocialNetConfig iso_cfg;
+        iso_cfg.colocatedNetworking = false;
+        svc::SocialNet iso(iso_cfg);
+        iso.run(qps, sim::msToTicks(600));
+
+        svc::SocialNetConfig col_cfg;
+        col_cfg.colocatedNetworking = true;
+        svc::SocialNet col(col_cfg);
+        col.run(qps, sim::msToTicks(600));
+
+        Pair p;
+        p.iso_p50 = sim::ticksToUs(iso.e2eLatency().percentile(50));
+        p.iso_p99 = sim::ticksToUs(iso.e2eLatency().percentile(99));
+        p.col_p50 = sim::ticksToUs(col.e2eLatency().percentile(50));
+        p.col_p99 = sim::ticksToUs(col.e2eLatency().percentile(99));
+        rows.push_back(p);
+        std::printf("%4.0f %12.0f / %-8.0f %14.0f / %-8.0f %8.2fx\n", qps,
+                    p.iso_p50, p.iso_p99, p.col_p50, p.col_p99,
+                    p.col_p99 / p.iso_p99);
+    }
+
+    bool ok = true;
+    ok &= shapeCheck("colocation hurts the tail at every load",
+                     rows[0].col_p99 > rows[0].iso_p99 &&
+                         rows[1].col_p99 > rows[1].iso_p99 &&
+                         rows[2].col_p99 > rows[2].iso_p99);
+    ok &= shapeCheck("colocation hurts the median too",
+                     rows[2].col_p50 > rows[2].iso_p50);
+    ok &= shapeCheck("interference grows with load (tail ratio)",
+                     rows[2].col_p99 / rows[2].iso_p99 >
+                         rows[0].col_p99 / rows[0].iso_p99);
+    return ok ? 0 : 1;
+}

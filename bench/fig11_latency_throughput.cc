@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Fig. 11 (left): latency-throughput curves for
+ * single-core asynchronous round-trip 64 B RPCs with CCI-P batching
+ * B in {1, 2, 4, auto}.
+ *
+ * Paper anchors: B=1 lowest median RTT 1.8 us, stable until its
+ * saturation point ~7.2 Mrps; B=4 reaches 12.4 Mrps at 2.8 us; at low
+ * load fixed B=4 pays a batch-fill wait; "auto" (soft-configured
+ * dynamic batching) combines B=1's low-load latency with B=4's peak
+ * throughput (the green dashed line).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::bench;
+
+struct Curve
+{
+    const char *label;
+    unsigned batch;
+    bool autoBatch;
+};
+
+} // namespace
+
+int
+main()
+{
+    const Curve curves[] = {
+        {"B=1", 1, false},
+        {"B=2", 2, false},
+        {"B=4", 4, false},
+        {"B=auto", 4, true},
+    };
+    const double loads[] = {0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+
+    tableHeader("Fig. 11 (left): latency vs throughput, single core, "
+                "64B async RPCs",
+                "curve    offered(Mrps) achieved(Mrps)  p50(us)  p99(us)");
+
+    // Record (per curve): low-load median, peak achieved throughput.
+    double lowload_p50[4] = {0};
+    double peak_mrps[4] = {0};
+
+    for (unsigned c = 0; c < 4; ++c) {
+        for (double load : loads) {
+            EchoRig::Options opt;
+            opt.batch = curves[c].batch;
+            opt.autoBatch = curves[c].autoBatch;
+            opt.threads = 1;
+            EchoRig rig(opt);
+            Point p = rig.offer(load, sim::msToTicks(2), sim::msToTicks(8));
+            std::printf("%-8s %13.1f %14.2f %8.2f %8.2f\n", curves[c].label,
+                        load, p.mrps, p.p50_us, p.p99_us);
+            if (load == 0.5)
+                lowload_p50[c] = p.p50_us;
+            peak_mrps[c] = std::max(peak_mrps[c], p.mrps);
+            // Stop sweeping a curve well past its saturation point.
+            if (p.mrps < load * 0.8)
+                break;
+        }
+        std::printf("\n");
+    }
+
+    bool ok = true;
+    ok &= shapeCheck("B=1 has the lowest low-load latency (paper 1.8us)",
+                     lowload_p50[0] < lowload_p50[2]);
+    ok &= shapeCheck("fixed B=4 pays a batch-fill wait at low load",
+                     lowload_p50[2] > lowload_p50[0] + 0.3);
+    ok &= shapeCheck("B=4 peak ~12.4 Mrps vs B=1 ~7.2 Mrps",
+                     peak_mrps[2] > 1.4 * peak_mrps[0]);
+    ok &= shapeCheck("B=2 lands between B=1 and B=4",
+                     peak_mrps[1] > peak_mrps[0] &&
+                         peak_mrps[1] < peak_mrps[2]);
+    ok &= shapeCheck("auto keeps B=1's low-load latency",
+                     lowload_p50[3] < lowload_p50[0] + 0.4);
+    ok &= shapeCheck("auto reaches (near) B=4's peak throughput",
+                     peak_mrps[3] > 0.85 * peak_mrps[2]);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Fig. 15: latency/load curves for the Flight Registration
+ * service with the Optimized threading model.
+ *
+ * Paper: median and tail of 23 / 33 us before the saturation point
+ * (~25 Krps in the figure's left panel); past saturation the tail
+ * latency "soars sharply, while the median latency stays at the level
+ * of 23-26 us".
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "svc/flight.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::bench;
+
+struct LoadPoint
+{
+    double krps;
+    double p50, p90, p99;
+    double drops;
+};
+
+} // namespace
+
+int
+main()
+{
+    tableHeader("Fig. 15: Flight Registration latency vs load "
+                "(Optimized threading)",
+                "load(Krps)   p50(us)   p90(us)   p99(us)  drop%");
+
+    std::vector<LoadPoint> points;
+    for (double krps : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0,
+                        45.0, 50.0}) {
+        svc::FlightConfig cfg;
+        cfg.model = svc::ThreadingModel::Optimized;
+        cfg.staffReadRate = 500;
+        svc::FlightApp app(cfg);
+        app.run(krps, sim::msToTicks(80));
+        LoadPoint p;
+        p.krps = krps;
+        p.p50 = sim::ticksToUs(app.e2eLatency().percentile(50));
+        p.p90 = sim::ticksToUs(app.e2eLatency().percentile(90));
+        p.p99 = sim::ticksToUs(app.e2eLatency().percentile(99));
+        p.drops = 100.0 * app.dropRate();
+        points.push_back(p);
+        std::printf("%10.1f %9.1f %9.1f %9.1f %6.2f\n", krps, p.p50, p.p90,
+                    p.p99, p.drops);
+    }
+
+    // Identify the pre-saturation region (tail still bounded).
+    const LoadPoint &low = points[1];       // 10 Krps
+    const LoadPoint &mid = points[3];       // 20 Krps
+    const LoadPoint &post_sat = points[5];  // 30 Krps (just past knee)
+    const LoadPoint &high = points.back();
+
+    bool ok = true;
+    ok &= shapeCheck("pre-saturation median stays in the ~20-30us band",
+                     low.p50 > 8.0 && low.p50 < 40.0 && mid.p50 < 45.0);
+    ok &= shapeCheck("tail soars past the saturation point",
+                     high.p99 > 3.0 * mid.p99);
+    ok &= shapeCheck("just past saturation the median holds while the "
+                     "tail soars (paper: 23-26us median)",
+                     post_sat.p50 < 45.0 && post_sat.p99 > 20.0 * post_sat.p50);
+    ok &= shapeCheck("drops appear only at/after saturation",
+                     low.drops < 1.0 && mid.drops < 1.0);
+    return ok ? 0 : 1;
+}

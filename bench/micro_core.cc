@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Wall-clock micro-benchmarks (google-benchmark) of the simulator's
+ * hot primitives: event queue, wire codec, histogram, Zipf generator,
+ * MICA partition, and a full simulated-RPC step.  These guard the
+ * *simulator's* performance — a slow DES makes the figure harnesses
+ * above impractical — and double as regression anchors.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "app/mica.hh"
+#include "bench/harness.hh"
+#include "proto/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace dagger;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.schedule(1, [&] { ++sink; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_WireCodecRoundTrip(benchmark::State &state)
+{
+    const std::size_t payload = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> data(payload, 0x5a);
+    for (auto _ : state) {
+        proto::RpcMessage msg(1, 2, 3, proto::MsgType::Request,
+                              data.data(), data.size());
+        auto frames = msg.toFrames();
+        proto::RpcMessage out;
+        bool ok = proto::RpcMessage::fromFrames(frames, out);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(payload));
+}
+BENCHMARK(BM_WireCodecRoundTrip)->Arg(48)->Arg(512)->Arg(1500);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    sim::Histogram h;
+    sim::Rng rng(1);
+    for (auto _ : state)
+        h.record(rng.range(1'000'000));
+    benchmark::DoNotOptimize(h.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_ZipfNext(benchmark::State &state)
+{
+    sim::ZipfianGenerator z(1'000'000, 0.99);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += z.next();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfNext);
+
+void
+BM_MicaPartitionSetGet(benchmark::State &state)
+{
+    app::MicaPartition part(16u << 20, 1u << 14);
+    sim::Rng rng(3);
+    char key[9] = {};
+    for (auto _ : state) {
+        std::snprintf(key, sizeof(key), "k%07u",
+                      static_cast<unsigned>(rng.range(100000)));
+        part.set(std::string_view(key, 8), "valueval");
+        auto got = part.get(std::string_view(key, 8));
+        benchmark::DoNotOptimize(got);
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_MicaPartitionSetGet);
+
+void
+BM_SimulatedRpcEndToEnd(benchmark::State &state)
+{
+    // Wall-time cost of simulating one complete RPC through the full
+    // stack (client -> NIC -> switch -> NIC -> server and back).
+    bench::EchoRig::Options opt;
+    opt.batch = 1;
+    bench::EchoRig rig(opt);
+    auto &client = rig.client(0);
+    std::uint64_t done = 0;
+    std::uint64_t v = 1;
+    for (auto _ : state) {
+        client.callPod(1, v, [&](const proto::RpcMessage &) { ++done; });
+        rig.system().eq().runFor(sim::usToTicks(10));
+    }
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedRpcEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

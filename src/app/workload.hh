@@ -1,0 +1,112 @@
+/**
+ * @file
+ * KVS workload generation (§5.6).
+ *
+ * "we generate two types of datasets similar to the ones used to
+ * evaluate MICA: tiny (8B keys and 8B values) and small (16B keys and
+ * 32B values). We populate both memcached and MICA KVS with 10M and
+ * 200M unique key-value pairs respectively, and access them over the
+ * Dagger fabric, following a Zipfian distribution with skewness of
+ * 0.99. ... write-intense (set/get = 50%/50%) and read-intense
+ * (set/get = 5%/95%)."
+ *
+ * Values are a deterministic function of the key so any GET hit can
+ * be integrity-checked without keeping a shadow copy of the dataset.
+ */
+
+#ifndef DAGGER_APP_WORKLOAD_HH
+#define DAGGER_APP_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace dagger::app {
+
+/** The two dataset shapes of §5.6. */
+struct DatasetShape
+{
+    std::size_t keyLen;
+    std::size_t valLen;
+    const char *name;
+};
+
+constexpr DatasetShape kTiny{8, 8, "tiny"};
+constexpr DatasetShape kSmall{16, 32, "small"};
+
+/** One generated operation. */
+struct KvOp
+{
+    bool isGet = true;
+    std::string key;
+    std::string value; ///< empty for GETs
+};
+
+/** Zipfian GET/SET stream over a fixed key space. */
+class KvWorkload
+{
+  public:
+    /**
+     * @param num_keys  key-space size
+     * @param theta     Zipf skew (0.99 / 0.9999 in the paper)
+     * @param get_ratio fraction of GETs (0.95 read-intense, 0.50
+     *                  write-intense)
+     * @param shape     tiny or small
+     */
+    KvWorkload(std::uint64_t num_keys, double theta, double get_ratio,
+               DatasetShape shape, std::uint64_t seed = 0x6b7673ull)
+        : _shape(shape), _getRatio(get_ratio), _zipf(num_keys, theta, seed),
+          _rng(seed ^ 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Deterministic fixed-width key for index @p i. */
+    std::string
+    keyFor(std::uint64_t i) const
+    {
+        std::string key(_shape.keyLen, '0');
+        for (std::size_t pos = key.size(); pos-- > 0 && i > 0; i /= 36) {
+            const auto digit = static_cast<char>(i % 36);
+            key[pos] = digit < 10 ? static_cast<char>('0' + digit)
+                                  : static_cast<char>('a' + digit - 10);
+        }
+        return key;
+    }
+
+    /** Deterministic value for a key (integrity-checkable). */
+    std::string
+    valueFor(std::string_view key) const
+    {
+        std::string v(_shape.valLen, 'v');
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = static_cast<char>(
+                'A' + (key[i % key.size()] * 31 + static_cast<char>(i)) % 26);
+        return v;
+    }
+
+    /** Next operation in the stream. */
+    KvOp
+    next()
+    {
+        KvOp op;
+        const std::uint64_t idx = _zipf.next();
+        op.key = keyFor(idx);
+        op.isGet = _rng.uniform() < _getRatio;
+        if (!op.isGet)
+            op.value = valueFor(op.key);
+        return op;
+    }
+
+    const DatasetShape &shape() const { return _shape; }
+    std::uint64_t numKeys() const { return _zipf.n(); }
+
+  private:
+    DatasetShape _shape;
+    double _getRatio;
+    sim::ZipfianGenerator _zipf;
+    sim::Rng _rng;
+};
+
+} // namespace dagger::app
+
+#endif // DAGGER_APP_WORKLOAD_HH

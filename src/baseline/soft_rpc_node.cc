@@ -1,0 +1,115 @@
+#include "baseline/soft_rpc_node.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::baseline {
+
+SoftRpcNode::SoftRpcNode(sim::EventQueue &eq, const SoftStackParams &p,
+                         rpc::HwThread &app, rpc::HwThread *net)
+    : _eq(eq), _params(p), _app(app), _net(net)
+{
+}
+
+sim::Tick
+SoftRpcNode::scaled(sim::Tick cost) const
+{
+    if (!colocated() || _colocSlowdown <= 1.0)
+        return cost;
+    return static_cast<sim::Tick>(static_cast<double>(cost) *
+                                  _colocSlowdown);
+}
+
+void
+SoftRpcNode::call(SoftRpcNode &dest, Payload request,
+                  std::function<void(const Payload &, sim::Tick)> cb)
+{
+    const sim::Tick t0 = _eq.now();
+
+    // Delivery of the response back at this (caller) node.
+    auto reply = [this, cb = std::move(cb), t0](Payload resp) mutable {
+        receiveResponse(std::move(resp),
+                        [this, cb = std::move(cb), t0](Payload r) {
+                            if (cb)
+                                cb(r, _eq.now() - t0);
+                        });
+    };
+
+    // Sender-side RPC + transport layers on the app thread, then wire.
+    _app.execute(scaled(_params.rpcSendCpu + _params.transportSendCpu),
+                 [this, &dest, request = std::move(request),
+                  reply = std::move(reply)]() mutable {
+                     _eq.schedule(
+                         _params.wireOneWay,
+                         [&dest, request = std::move(request),
+                          reply = std::move(reply)]() mutable {
+                             dest.receive(std::move(request),
+                                          std::move(reply));
+                         },
+                         sim::Priority::Hardware);
+                 });
+}
+
+void
+SoftRpcNode::receive(Payload request, std::function<void(Payload)> reply)
+{
+    const sim::Tick t2 = _eq.now();
+    netThread().execute(
+        scaled(_params.transportRecvCpu),
+        [this, request = std::move(request), reply = std::move(reply),
+         t2]() mutable {
+            const sim::Tick t3 = _eq.now();
+            _app.execute(
+                scaled(_params.rpcRecvCpu),
+                [this, request = std::move(request),
+                 reply = std::move(reply), t2, t3]() mutable {
+                    const sim::Tick t4 = _eq.now();
+                    dagger_assert(_handler, "SoftRpcNode without handler");
+                    ++_handled;
+                    auto respond = [this, reply = std::move(reply), t2, t3,
+                                    t4](Payload response,
+                                        sim::Tick app_cost) mutable {
+                        const sim::Tick t5 = _eq.now();
+                        _app.execute(
+                            scaled(app_cost + _params.rpcSendCpu +
+                                   _params.transportSendCpu),
+                            [this, reply = std::move(reply),
+                             response = std::move(response), t2, t3, t4, t5,
+                             app_cost]() mutable {
+                                const sim::Tick t6 = _eq.now();
+                                _served.transport.record(t3 - t2);
+                                _served.rpc.record((t4 - t3) +
+                                                   (t6 - t5 - app_cost));
+                                _served.app.record((t5 - t4) + app_cost);
+                                _served.total.record(t6 - t2);
+                                _eq.schedule(
+                                    _params.wireOneWay,
+                                    [reply = std::move(reply),
+                                     response =
+                                         std::move(response)]() mutable {
+                                        reply(std::move(response));
+                                    },
+                                    sim::Priority::Hardware);
+                            });
+                    };
+                    _handler(request, std::move(respond));
+                });
+        });
+}
+
+void
+SoftRpcNode::receiveResponse(Payload response,
+                             std::function<void(Payload)> done)
+{
+    netThread().execute(
+        scaled(_params.transportRecvCpu),
+        [this, response = std::move(response),
+         done = std::move(done)]() mutable {
+            _app.execute(scaled(_params.rpcRecvCpu),
+                         [response = std::move(response),
+                          done = std::move(done)]() mutable {
+                             done(std::move(response));
+                         });
+        });
+}
+
+} // namespace dagger::baseline

@@ -1,0 +1,54 @@
+#include "baseline/soft_stack.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::baseline {
+
+using sim::nsToTicks;
+using sim::usToTicks;
+
+SoftStackParams
+paramsFor(SoftStack stack)
+{
+    switch (stack) {
+      case SoftStack::LinuxTcp:
+        // Kernel TCP/IP + Thrift-style RPC.  Anchors: memcached over
+        // its native kernel transport is 11.4x slower than over
+        // Dagger (§1: 2.8us * 11.4 ~= 32us RTT), and a well-tuned
+        // kernel stack sustains a few hundred Krps per core.
+        return SoftStackParams{"LinuxTCP", nsToTicks(850), nsToTicks(750),
+                               nsToTicks(800), nsToTicks(700),
+                               usToTicks(13.0)};
+      case SoftStack::DpdkIx:
+        // Table 3: 64B msg, RTT 11.4us, 1.5 Mrps/core.  IX batches
+        // aggressively at the NIC -> high latency, decent throughput.
+        return SoftStackParams{"IX", nsToTicks(140), nsToTicks(190),
+                               nsToTicks(190), nsToTicks(145),
+                               usToTicks(4.35)};
+      case SoftStack::Erpc:
+        // Table 3: 32B RPC, RTT 2.3us, 4.96 Mrps/core.
+        return SoftStackParams{"eRPC", nsToTicks(45), nsToTicks(55),
+                               nsToTicks(55), nsToTicks(46),
+                               usToTicks(0.95)};
+      case SoftStack::RdmaFasst:
+        // Table 3: 48B RPC, RTT 2.8us, 4.8 Mrps/core.
+        return SoftStackParams{"FaSST", nsToTicks(48), nsToTicks(56),
+                               nsToTicks(56), nsToTicks(48),
+                               usToTicks(1.19)};
+      case SoftStack::NetDimm:
+        // Table 3: 64B msg, RTT 2.2us (no RPC layer, no throughput
+        // reported).  Integrated NIC: tiny per-message CPU cost.
+        return SoftStackParams{"NetDIMM", nsToTicks(30), nsToTicks(45),
+                               nsToTicks(45), nsToTicks(30),
+                               usToTicks(0.95)};
+    }
+    dagger_panic("unknown soft stack");
+}
+
+const char *
+stackName(SoftStack stack)
+{
+    return paramsFor(stack).name;
+}
+
+} // namespace dagger::baseline

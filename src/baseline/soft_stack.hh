@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Modeled software / RDMA RPC systems (Table 3 comparisons and the
+ * §3 characterization substrate).
+ *
+ * The paper compares Dagger against the published numbers of IX
+ * (kernel-bypass DPDK networking), eRPC (raw user-space NIC driver),
+ * FaSST (two-sided RDMA RPCs), and NetDIMM (in-DIMM integrated NIC).
+ * We do the computational equivalent: each system is a cost-model
+ * point (per-direction CPU costs + wire latency) calibrated to its
+ * published single-core throughput and median RTT, run in the same
+ * DES harness as Dagger.
+ */
+
+#ifndef DAGGER_BASELINE_SOFT_STACK_HH
+#define DAGGER_BASELINE_SOFT_STACK_HH
+
+#include "sim/time.hh"
+
+namespace dagger::baseline {
+
+using sim::Tick;
+
+/** The modeled systems. */
+enum class SoftStack {
+    LinuxTcp, ///< kernel TCP/IP + Thrift-style RPC (the §3 baseline)
+    DpdkIx,   ///< IX [23]
+    Erpc,     ///< eRPC [38]
+    RdmaFasst,///< FaSST [40]
+    NetDimm,  ///< NetDIMM [18]
+};
+
+/** Cost-model point for one software stack. */
+struct SoftStackParams
+{
+    const char *name;
+
+    /** CPU: RPC-layer work on the sender (serialize, stubs). */
+    Tick rpcSendCpu;
+
+    /** CPU: transport-layer work on the sender (TCP/IP or driver TX). */
+    Tick transportSendCpu;
+
+    /** CPU: transport-layer work on the receiver (interrupt/poll, RX). */
+    Tick transportRecvCpu;
+
+    /** CPU: RPC-layer work on the receiver (deserialize, dispatch). */
+    Tick rpcRecvCpu;
+
+    /** One-way NIC + wire + ToR latency excluding the CPU parts. */
+    Tick wireOneWay;
+
+    /** Per-request client CPU (send + receive sides). */
+    Tick
+    clientCpuPerRpc() const
+    {
+        return rpcSendCpu + transportSendCpu + transportRecvCpu + rpcRecvCpu;
+    }
+
+    /** Single-core throughput (Mrps) implied by the CPU costs. */
+    double
+    coreMrps() const
+    {
+        return 1000.0 / sim::ticksToNs(clientCpuPerRpc());
+    }
+};
+
+/** Calibrated parameters; see EXPERIMENTS.md for the anchor table. */
+SoftStackParams paramsFor(SoftStack stack);
+
+/** Printable name. */
+const char *stackName(SoftStack stack);
+
+} // namespace dagger::baseline
+
+#endif // DAGGER_BASELINE_SOFT_STACK_HH

@@ -1,0 +1,166 @@
+#include "ic/cci_fabric.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::ic {
+
+CciFabric::CciFabric(EventQueue &eq, IfaceKind kind, unsigned ports,
+                     UpiCost upi, PcieCost pcie)
+    : _eq(eq), _kind(kind), _upi(upi), _pcie(pcie),
+      _toNic(eq,
+             isMemoryInterconnect(kind) ? upi.lineService
+                                        : pcie.lineService,
+             isMemoryInterconnect(kind) ? upi.txnOverhead
+                                        : pcie.txnOverhead,
+             ports),
+      _toHost(eq,
+              isMemoryInterconnect(kind) ? upi.lineService
+                                         : pcie.lineService,
+              isMemoryInterconnect(kind) ? upi.txnOverhead
+                                         : pcie.txnOverhead,
+              ports),
+      _maxOutstanding(isMemoryInterconnect(kind) ? upi.maxOutstanding
+                                                 : pcie.maxOutstanding)
+{
+    _ports.reserve(ports);
+    for (unsigned i = 0; i < ports; ++i)
+        _ports.emplace_back(std::unique_ptr<CciPort>(new CciPort(*this, i)));
+}
+
+CciPort &
+CciFabric::addPort()
+{
+    const unsigned id = _toNic.addPort();
+    const unsigned id2 = _toHost.addPort();
+    dagger_assert(id == id2 && id == _ports.size(),
+                  "channel/port id drift");
+    _ports.emplace_back(std::unique_ptr<CciPort>(new CciPort(*this, id)));
+    return *_ports.back();
+}
+
+CciPort &
+CciFabric::port(unsigned i)
+{
+    dagger_assert(i < _ports.size(), "bad port index ", i);
+    return *_ports[i];
+}
+
+Tick
+CciFabric::hostTxCpuCost(unsigned batch) const
+{
+    return ic::hostTxCpuCost(_kind, batch, _upi, _pcie);
+}
+
+Tick
+CciPort::hostPollPenalty() const
+{
+    // Only the UPI invalidation path polls; CXL writes push directly.
+    if (_fabric.kind() != IfaceKind::Upi)
+        return 0;
+    return _pollMode == PollMode::LocalCache
+        ? _fabric.upi().ownershipBounceCost
+        : 0;
+}
+
+void
+CciPort::fetch(unsigned lines, EventFn done)
+{
+    Tick extra = hostTxBaseLatency(_fabric.kind(), _fabric.upi(),
+                                   _fabric.pcie());
+    if (_fabric.kind() == IfaceKind::Upi && _pollMode == PollMode::Llc)
+        extra += _fabric.upi().llcPollExtra;
+    ++_fetchTxns;
+    _linesFetched += lines;
+    submit(Op{true, lines, extra, std::move(done)});
+}
+
+void
+CciPort::post(unsigned lines, EventFn done)
+{
+    const Tick extra = isMemoryInterconnect(_fabric.kind())
+        ? _fabric.upi().postLatency
+        : _fabric.pcie().postLatency;
+    ++_postTxns;
+    _linesPosted += lines;
+    submit(Op{false, lines, extra, std::move(done)});
+}
+
+void
+CciPort::bookkeep(EventFn done)
+{
+    // Bookkeeping rides back piggybacked on read responses / posted
+    // metadata: it costs delivery latency but no dedicated channel
+    // occupancy (the paper pipelines it with in-flight requests,
+    // §4.4).  CXL device buffers are NIC-owned: release is immediate.
+    if (_fabric.kind() == IfaceKind::Cxl) {
+        _fabric._eq.schedule(0,
+                             [done = std::move(done)] {
+                                 if (done)
+                                     done();
+                             },
+                             sim::Priority::Hardware);
+        return;
+    }
+    const Tick extra = _fabric.kind() == IfaceKind::Upi
+        ? _fabric.upi().bookkeepLatency
+        : _fabric.pcie().postLatency;
+    _fabric._eq.schedule(extra,
+                         [done = std::move(done)] {
+                             if (done)
+                                 done();
+                         },
+                         sim::Priority::Hardware);
+}
+
+void
+CciPort::rawRead(EventFn done)
+{
+    // Idle reads are hardware-pipelined: no FSM transaction overhead.
+    submit(Op{true, 1, _fabric.upi().fetchLatency, std::move(done), true});
+}
+
+void
+CciPort::submit(Op op)
+{
+    if (_inFlight >= _fabric._maxOutstanding) {
+        ++_stalls;
+        _pendingWindow.push_back(std::move(op));
+        return;
+    }
+    issue(std::move(op));
+}
+
+void
+CciPort::issue(Op op)
+{
+    ++_inFlight;
+    Channel &ch = op.to_nic ? _fabric._toNic : _fabric._toHost;
+    const Tick extra = op.extra_latency;
+    auto done = std::move(op.done);
+    ch.request(_id, op.lines,
+               [this, extra, done = std::move(done)]() mutable {
+                   // Channel service finished; propagation takes `extra`.
+                   _fabric._eq.schedule(extra,
+                                        [this, done = std::move(done)]() {
+                                            completed();
+                                            if (done)
+                                                done();
+                                        },
+                                        sim::Priority::Hardware);
+               },
+               op.streamed);
+}
+
+void
+CciPort::completed()
+{
+    dagger_assert(_inFlight > 0, "completion without in-flight op");
+    --_inFlight;
+    if (!_pendingWindow.empty()) {
+        Op op = std::move(_pendingWindow.front());
+        _pendingWindow.pop_front();
+        issue(std::move(op));
+    }
+}
+
+} // namespace dagger::ic

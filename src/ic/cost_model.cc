@@ -1,0 +1,71 @@
+#include "ic/cost_model.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::ic {
+
+const char *
+ifaceName(IfaceKind kind)
+{
+    switch (kind) {
+      case IfaceKind::MmioWrite:
+        return "MMIO";
+      case IfaceKind::Doorbell:
+        return "Doorbell";
+      case IfaceKind::DoorbellBatch:
+        return "DoorbellBatch";
+      case IfaceKind::Upi:
+        return "UPI";
+      case IfaceKind::Cxl:
+        return "CXL";
+    }
+    return "?";
+}
+
+Tick
+hostTxCpuCost(IfaceKind kind, unsigned batch, const UpiCost &upi,
+              const PcieCost &pcie)
+{
+    dagger_assert(batch >= 1, "batch factor must be >= 1");
+    switch (kind) {
+      case IfaceKind::MmioWrite:
+        // Full payload pushed by the CPU; batching does not help MMIO.
+        return pcie.cpuMmioPayloadCost;
+      case IfaceKind::Doorbell:
+        // Ring write plus one doorbell MMIO per request.
+        return pcie.cpuRingWriteCost + pcie.cpuMmioCost;
+      case IfaceKind::DoorbellBatch:
+        // One doorbell MMIO amortized over the batch, plus one DMA
+        // descriptor per request.
+        return pcie.cpuRingWriteCost + pcie.cpuDescCost +
+               pcie.cpuMmioCost / batch;
+      case IfaceKind::Upi:
+        // Pure memory write; bookkeeping consumed once per batch.
+        return upi.cpuWriteCost + upi.cpuBookkeepCost / batch;
+      case IfaceKind::Cxl:
+        // Direct device write: no host-side buffer bookkeeping at all
+        // (the NIC owns the buffer), just the uncached store.
+        return upi.cxlCpuWriteCost;
+    }
+    dagger_panic("unreachable iface kind");
+}
+
+Tick
+hostTxBaseLatency(IfaceKind kind, const UpiCost &upi, const PcieCost &pcie)
+{
+    switch (kind) {
+      case IfaceKind::MmioWrite:
+        return pcie.mmioDeliverLatency;
+      case IfaceKind::Doorbell:
+      case IfaceKind::DoorbellBatch:
+        // Doorbell must reach the NIC, then the NIC DMA-reads the ring.
+        return pcie.doorbellLatency + pcie.dmaReadLatency;
+      case IfaceKind::Upi:
+        return upi.fetchLatency;
+      case IfaceKind::Cxl:
+        return upi.cxlDeliverLatency;
+    }
+    dagger_panic("unreachable iface kind");
+}
+
+} // namespace dagger::ic

@@ -1,0 +1,181 @@
+#include "idl/codegen.hh"
+
+#include <cctype>
+#include <sstream>
+
+namespace dagger::idl {
+
+namespace {
+
+std::string
+capitalize(const std::string &s)
+{
+    std::string out = s;
+    if (!out.empty())
+        out[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(out[0])));
+    return out;
+}
+
+void
+emitEnum(std::ostringstream &os, const EnumDef &e)
+{
+    os << "/** IDL enum `" << e.name << "` (int32 on the wire). */\n";
+    os << "enum class " << e.name << " : std::int32_t\n{\n";
+    for (const Enumerator &v : e.values)
+        os << "    " << v.name << " = " << v.value << ",\n";
+    os << "};\n\n";
+}
+
+void
+emitMessage(std::ostringstream &os, const MessageDef &m)
+{
+    os << "/** IDL message `" << m.name << "` (" << m.byteSize()
+       << " bytes on the wire). */\n";
+    os << "#pragma pack(push, 1)\n";
+    os << "struct " << m.name << "\n{\n";
+    for (const Field &f : m.fields) {
+        const char *type = f.kind == FieldKind::Enum
+            ? f.enumName.c_str()
+            : fieldKindCpp(f.kind);
+        os << "    " << type << " " << f.name;
+        if (f.kind == FieldKind::CharArray)
+            os << "[" << f.arrayLen << "]";
+        os << "{};\n";
+    }
+    os << "};\n";
+    os << "#pragma pack(pop)\n";
+    os << "static_assert(sizeof(" << m.name << ") == " << m.byteSize()
+       << ", \"packed layout mismatch\");\n\n";
+}
+
+void
+emitService(std::ostringstream &os, const ServiceDef &s)
+{
+    // Function-id enum.
+    os << "/** Function ids of service `" << s.name << "`. */\n";
+    os << "enum class " << s.name << "Fn : std::uint16_t\n{\n";
+    for (const RpcDef &r : s.rpcs)
+        os << "    " << r.name << " = " << r.fnId << ",\n";
+    os << "};\n\n";
+
+    // Client stub.
+    os << "/** Client stub for `" << s.name
+       << "`: wraps an RpcClient flow. */\n";
+    os << "class " << s.name << "Client\n{\n  public:\n";
+    os << "    explicit " << s.name
+       << "Client(dagger::rpc::RpcClient &client) : _client(client) {}\n\n";
+    for (const RpcDef &r : s.rpcs) {
+        if (r.oneWay) {
+            os << "    /** One-way `" << r.name
+               << "`: fire-and-forget, no response. */\n";
+            os << "    void\n    " << r.name << "(const " << r.requestType
+               << " &req)\n    {\n";
+            os << "        _client.callOneWay(static_cast<"
+                  "dagger::proto::FnId>(" << s.name << "Fn::" << r.name
+               << "),\n                           &req, sizeof(req));\n";
+            os << "    }\n\n";
+            continue;
+        }
+        os << "    /** Non-blocking `" << r.name
+           << "`; the continuation runs on the client thread. */\n";
+        os << "    void\n    " << r.name << "(const " << r.requestType
+           << " &req,\n        std::function<void(const " << r.responseType
+           << " &)> cb = {})\n    {\n";
+        os << "        dagger::rpc::RpcClient::ResponseCb raw;\n";
+        os << "        if (cb) {\n";
+        os << "            raw = [cb = std::move(cb)](const "
+              "dagger::proto::RpcMessage &m) {\n";
+        os << "                " << r.responseType << " resp{};\n";
+        os << "                if (m.payloadAs(resp))\n";
+        os << "                    cb(resp);\n";
+        os << "            };\n";
+        os << "        }\n";
+        os << "        _client.callAsync(static_cast<dagger::proto::FnId>("
+           << s.name << "Fn::" << r.name
+           << "),\n                          &req, sizeof(req), "
+              "std::move(raw));\n";
+        os << "    }\n\n";
+    }
+    os << "    /** The underlying transport client. */\n";
+    os << "    dagger::rpc::RpcClient &raw() { return _client; }\n\n";
+    os << "  private:\n    dagger::rpc::RpcClient &_client;\n};\n\n";
+
+    // Server skeleton.
+    os << "/** Server skeleton for `" << s.name
+       << "`: subclass and attach(). */\n";
+    os << "class " << s.name << "Service\n{\n  public:\n";
+    os << "    virtual ~" << s.name << "Service() = default;\n\n";
+    for (const RpcDef &r : s.rpcs) {
+        os << "    struct " << capitalize(r.name) << "Result\n    {\n";
+        if (!r.oneWay)
+            os << "        " << r.responseType << " response{};\n";
+        os << "        dagger::sim::Tick cost = 0; ///< simulated CPU time\n";
+        if (!r.oneWay)
+            os << "        bool respond = true;\n";
+        os << "    };\n";
+        os << "    virtual " << capitalize(r.name) << "Result " << r.name
+           << "(const " << r.requestType << " &req) = 0;\n\n";
+    }
+    os << "    /** Register all rpcs on @p server. */\n";
+    os << "    void\n    attach(dagger::rpc::RpcThreadedServer &server)\n"
+          "    {\n";
+    for (const RpcDef &r : s.rpcs) {
+        os << "        server.registerHandler(\n";
+        os << "            static_cast<dagger::proto::FnId>(" << s.name
+           << "Fn::" << r.name << "),\n";
+        os << "            [this](const dagger::proto::RpcMessage &m) {\n";
+        os << "                dagger::rpc::HandlerOutcome out;\n";
+        os << "                " << r.requestType << " req{};\n";
+        os << "                if (!m.payloadAs(req)) {\n";
+        os << "                    out.respond = false;\n";
+        os << "                    return out;\n";
+        os << "                }\n";
+        os << "                auto result = this->" << r.name << "(req);\n";
+        os << "                out.cost = result.cost;\n";
+        if (r.oneWay) {
+            os << "                out.respond = false;\n";
+        } else {
+            os << "                out.respond = result.respond;\n";
+            os << "                out.response.resize(sizeof("
+               << r.responseType << "));\n";
+            os << "                std::memcpy(out.response.data(), "
+                  "&result.response,\n                            sizeof("
+               << r.responseType << "));\n";
+        }
+        os << "                return out;\n";
+        os << "            });\n";
+    }
+    os << "    }\n};\n\n";
+}
+
+} // namespace
+
+std::string
+generateHeader(const IdlFile &file, const CodegenOptions &opts)
+{
+    std::string ns = opts.ns;
+    if (ns.empty()) {
+        auto it = file.options.find("namespace");
+        ns = it != file.options.end() ? it->second : "daggergen";
+    }
+    std::ostringstream os;
+    os << "// Generated by daggeridl from " << opts.sourceName
+       << ". DO NOT EDIT.\n";
+    os << "#pragma once\n\n";
+    os << "#include <cstdint>\n#include <cstring>\n#include <functional>\n\n";
+    os << "#include \"proto/wire.hh\"\n";
+    os << "#include \"rpc/client.hh\"\n";
+    os << "#include \"rpc/server.hh\"\n\n";
+    os << "namespace " << ns << " {\n\n";
+    for (const EnumDef &e : file.enums)
+        emitEnum(os, e);
+    for (const MessageDef &m : file.messages)
+        emitMessage(os, m);
+    for (const ServiceDef &s : file.services)
+        emitService(os, s);
+    os << "} // namespace " << ns << "\n";
+    return os.str();
+}
+
+} // namespace dagger::idl

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * C++ code generator for the Dagger IDL.
+ *
+ * "The code generator parses target IDL files and produces client and
+ * server stubs which wrap up the low-level RPC structures being
+ * written/read to/from the hardware into the high-level service API
+ * function calls." (§4.2)  The paper's generator is Python; here it
+ * is a C++ library plus the `daggeridl` CLI so stub generation is a
+ * normal build step (see cmake/DaggerIdl.cmake).
+ */
+
+#ifndef DAGGER_IDL_CODEGEN_HH
+#define DAGGER_IDL_CODEGEN_HH
+
+#include <string>
+
+#include "idl/ast.hh"
+
+namespace dagger::idl {
+
+/** Generation options. */
+struct CodegenOptions
+{
+    /**
+     * Namespace the generated types live in.  Empty means: use the
+     * file's `option namespace = ...;` if present, else "daggergen".
+     */
+    std::string ns;
+
+    /** Name recorded in the header banner (usually the .idl path). */
+    std::string sourceName = "<memory>";
+};
+
+/**
+ * Generate a self-contained C++ header with, per message, a packed
+ * POD struct, and per service:
+ *  - a `<Service>Fn` enum of function ids,
+ *  - a `<Service>Client` stub wrapping an RpcClient,
+ *  - a `<Service>Service` skeleton with one pure-virtual method per
+ *    rpc and an attach() that registers handlers on an
+ *    RpcThreadedServer.
+ */
+std::string generateHeader(const IdlFile &file,
+                           const CodegenOptions &opts = {});
+
+} // namespace dagger::idl
+
+#endif // DAGGER_IDL_CODEGEN_HH

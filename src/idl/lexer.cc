@@ -1,0 +1,121 @@
+#include "idl/lexer.hh"
+
+#include <cctype>
+
+namespace dagger::idl {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return identStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    unsigned line = 1, col = 1;
+    std::size_t i = 0;
+
+    auto advance = [&](std::size_t n = 1) {
+        for (std::size_t k = 0; k < n; ++k) {
+            if (i < src.size() && src[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+            ++i;
+        }
+    };
+
+    while (i < src.size()) {
+        const char c = src[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '#' || (c == '/' && i + 1 < src.size() && src[i + 1] == '/')) {
+            while (i < src.size() && src[i] != '\n')
+                advance();
+            continue;
+        }
+        Token tok;
+        tok.line = line;
+        tok.col = col;
+        if (identStart(c)) {
+            std::size_t start = i;
+            while (i < src.size() && identCont(src[i]))
+                advance();
+            tok.kind = TokKind::Ident;
+            tok.text = src.substr(start, i - start);
+            out.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::uint64_t v = 0;
+            while (i < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[i]))) {
+                v = v * 10 + static_cast<std::uint64_t>(src[i] - '0');
+                advance();
+            }
+            tok.kind = TokKind::Number;
+            tok.number = v;
+            out.push_back(std::move(tok));
+            continue;
+        }
+        switch (c) {
+          case '{':
+            tok.kind = TokKind::LBrace;
+            break;
+          case '}':
+            tok.kind = TokKind::RBrace;
+            break;
+          case '(':
+            tok.kind = TokKind::LParen;
+            break;
+          case ')':
+            tok.kind = TokKind::RParen;
+            break;
+          case '[':
+            tok.kind = TokKind::LBracket;
+            break;
+          case ']':
+            tok.kind = TokKind::RBracket;
+            break;
+          case ';':
+            tok.kind = TokKind::Semicolon;
+            break;
+          case ',':
+            tok.kind = TokKind::Comma;
+            break;
+          case '=':
+            tok.kind = TokKind::Equals;
+            break;
+          default:
+            throw IdlError{std::string("unexpected character '") + c + "'",
+                           line, col};
+        }
+        tok.text = std::string(1, c);
+        advance();
+        out.push_back(std::move(tok));
+    }
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace dagger::idl

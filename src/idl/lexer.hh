@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tokenizer for the Dagger IDL.
+ */
+
+#ifndef DAGGER_IDL_LEXER_HH
+#define DAGGER_IDL_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dagger::idl {
+
+/** Token categories. */
+enum class TokKind {
+    Ident,   ///< identifiers and keywords
+    Number,  ///< unsigned integer literal
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Equals,
+    End, ///< end of input
+};
+
+/** One token with source position. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    std::uint64_t number = 0;
+    unsigned line = 1;
+    unsigned col = 1;
+};
+
+/** Thrown (as a value) for lexical and syntax errors. */
+struct IdlError
+{
+    std::string message;
+    unsigned line = 0;
+    unsigned col = 0;
+
+    std::string
+    what() const
+    {
+        return "line " + std::to_string(line) + ":" + std::to_string(col) +
+               ": " + message;
+    }
+};
+
+/**
+ * Tokenize @p src.  '//' and '#' start line comments.
+ * @throws IdlError on illegal characters.
+ */
+std::vector<Token> lex(const std::string &src);
+
+} // namespace dagger::idl
+
+#endif // DAGGER_IDL_LEXER_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Recursive-descent parser and semantic checker for the Dagger IDL.
+ */
+
+#ifndef DAGGER_IDL_PARSER_HH
+#define DAGGER_IDL_PARSER_HH
+
+#include <string>
+
+#include "idl/ast.hh"
+#include "idl/lexer.hh"
+
+namespace dagger::idl {
+
+/**
+ * Parse @p src into an IdlFile and run semantic checks:
+ *  - unique message/service/field/rpc names,
+ *  - rpc request/response types must name declared messages,
+ *  - char arrays need a positive length,
+ *  - message payloads must fit the wire format (<= 65535 B).
+ *
+ * @throws IdlError on any lexical, syntax, or semantic problem.
+ */
+IdlFile parse(const std::string &src);
+
+} // namespace dagger::idl
+
+#endif // DAGGER_IDL_PARSER_HH

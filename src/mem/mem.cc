@@ -1,0 +1,5 @@
+// Intentionally nearly empty: mem/ is header-only templates; this TU
+// exists so dagger_mem is an ordinary static library target.
+#include "mem/direct_mapped_cache.hh"
+#include "mem/hcc.hh"
+#include "mem/llc_model.hh"

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Top-of-rack switch model.
+ *
+ * The paper connects its two on-FPGA NICs "via a loop-back network"
+ * and models a ToR delay of 0.3 us (Table 3); the 8-tier experiment
+ * uses "our simple model of a ToR networking switch with a static
+ * switching table" (§5.7).  This is that switch: static routing by
+ * destination node id, a fixed per-hop delay, per-egress-port
+ * serialization at line rate, and bounded egress queues with drop
+ * accounting.
+ */
+
+#ifndef DAGGER_NET_TOR_SWITCH_HH
+#define DAGGER_NET_TOR_SWITCH_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "proto/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace dagger::net {
+
+using sim::EventQueue;
+using sim::Tick;
+
+/** Network endpoint identifier (one per NIC instance). */
+using NodeId = std::uint16_t;
+
+/** A network packet: one RPC message's frames, addressed. */
+struct Packet
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::vector<proto::Frame> frames;
+
+    std::size_t wireBytes() const
+    {
+        return frames.size() * proto::kCacheLineBytes;
+    }
+};
+
+class TorSwitch;
+
+/** One switch port; handed to a NIC's transport layer. */
+class SwitchPort
+{
+  public:
+    /** Transmit a packet into the switch. */
+    void send(Packet pkt);
+
+    /** Install the delivery callback (packets arriving at this port). */
+    void
+    setReceiver(std::function<void(Packet)> rx)
+    {
+        _receiver = std::move(rx);
+    }
+
+    NodeId node() const { return _node; }
+
+  private:
+    friend class TorSwitch;
+    SwitchPort(TorSwitch &sw, NodeId node) : _switch(sw), _node(node) {}
+
+    void deliver(Packet pkt);
+
+    TorSwitch &_switch;
+    NodeId _node;
+    std::function<void(Packet)> _receiver;
+
+    // Egress side (switch -> this port).
+    std::deque<Packet> _egressQueue;
+    bool _egressBusy = false;
+};
+
+/**
+ * The switch itself.  Routing is purely static: packets go to the
+ * port registered under their destination node id.
+ */
+class TorSwitch
+{
+  public:
+    /**
+     * @param eq        event queue
+     * @param hop_delay one-way switch traversal delay (0.3 us default)
+     * @param byte_time serialization time per byte at egress
+     *                  (default ~100 Gb/s)
+     * @param queue_cap egress queue capacity in packets
+     */
+    explicit TorSwitch(EventQueue &eq,
+                       Tick hop_delay = sim::nsToTicks(300),
+                       Tick byte_time = sim::nsToTicks(0.08),
+                       std::size_t queue_cap = 4096);
+
+    /** Attach (or fetch) the port for @p node. */
+    SwitchPort &attach(NodeId node);
+
+    std::uint64_t forwarded() const { return _forwarded; }
+    std::uint64_t dropped() const { return _dropped; }
+    EventQueue &eventQueue() { return _eq; }
+
+  private:
+    friend class SwitchPort;
+
+    void route(Packet pkt);
+    void enqueueEgress(SwitchPort &port, Packet pkt);
+    void drainEgress(SwitchPort &port);
+
+    EventQueue &_eq;
+    Tick _hopDelay;
+    Tick _byteTime;
+    std::size_t _queueCap;
+    std::vector<std::unique_ptr<SwitchPort>> _ports; // indexed by NodeId
+    std::uint64_t _forwarded = 0;
+    std::uint64_t _dropped = 0;
+};
+
+} // namespace dagger::net
+
+#endif // DAGGER_NET_TOR_SWITCH_HH

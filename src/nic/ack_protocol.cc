@@ -1,0 +1,93 @@
+#include "nic/ack_protocol.hh"
+
+#include "nic/dagger_nic.hh"
+#include "sim/logging.hh"
+
+namespace dagger::nic {
+
+void
+AckProtocol::attach(DaggerNic &nic)
+{
+    _nic = &nic;
+}
+
+AckProtocol::Key
+AckProtocol::keyOf(const net::Packet &pkt)
+{
+    dagger_assert(!pkt.frames.empty(), "empty packet");
+    const proto::FrameHeader &h = pkt.frames.front().header;
+    return Key{h.connId, h.rpcId, static_cast<std::uint8_t>(h.type)};
+}
+
+bool
+AckProtocol::onEgress(net::Packet &pkt)
+{
+    dagger_assert(_nic, "AckProtocol not attached");
+    const Key key = keyOf(pkt);
+    Pending entry;
+    entry.pkt = pkt; // keep a retransmission copy
+    _pending[key] = std::move(entry);
+    armTimer(key);
+    return true; // forward to the wire
+}
+
+void
+AckProtocol::armTimer(const Key &key)
+{
+    _nic->eventQueue().schedule(_timeout, [this, key] {
+        auto it = _pending.find(key);
+        if (it == _pending.end())
+            return; // acked in the meantime
+        if (it->second.retries >= _maxRetries) {
+            ++_lost;
+            _pending.erase(it);
+            return;
+        }
+        ++it->second.retries;
+        ++_retransmissions;
+        _nic->protocolEgress(it->second.pkt); // resend a copy
+        armTimer(key);
+    });
+}
+
+void
+AckProtocol::sendAck(const net::Packet &data)
+{
+    // An ACK is a single control frame mirroring the data headers,
+    // marked with the reserved fnId.
+    net::Packet ack;
+    ack.dst = data.src;
+    proto::Frame f;
+    f.header = data.frames.front().header;
+    f.header.fnId = kAckFn;
+    f.header.numFrames = 1;
+    f.header.frameIdx = 0;
+    f.header.payloadLen = 0;
+    f.header.checksum = 0;
+    ack.frames.push_back(f);
+    ++_acksSent;
+    _nic->protocolEgress(std::move(ack));
+}
+
+bool
+AckProtocol::onIngress(net::Packet &pkt)
+{
+    dagger_assert(_nic, "AckProtocol not attached");
+    const bool is_ack = pkt.frames.size() == 1 &&
+        pkt.frames.front().header.fnId == kAckFn;
+    if (!is_ack && _dropNext > 0) {
+        --_dropNext;
+        return false; // simulated wire loss: no delivery, no ACK
+    }
+    if (is_ack) {
+        // Control frame: clear the retransmission entry.
+        Key key = keyOf(pkt);
+        if (_pending.erase(key))
+            ++_acksReceived;
+        return false; // consumed; never reaches the RPC pipeline
+    }
+    sendAck(pkt);
+    return true;
+}
+
+} // namespace dagger::nic

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A reliable-delivery Protocol unit.
+ *
+ * The paper leaves the Protocol block of the RPC unit idle ("it
+ * simply forwards all packets to the network") and lists reliable
+ * transports with piggybacked acknowledgements as follow-up work
+ * (§4.5).  This extension implements the simplest useful version:
+ * positive ACKs per packet, a retransmission queue with timeout, and
+ * a bounded retry budget — enough to survive ToR-queue drops, and a
+ * template for richer protocols (the paper mentions TONIC-style
+ * designs as a fit for this block).
+ *
+ * Off by default, exactly like the paper's artifact; install with
+ * DaggerNic::setProtocol(std::make_unique<AckProtocol>(...)).
+ */
+
+#ifndef DAGGER_NIC_ACK_PROTOCOL_HH
+#define DAGGER_NIC_ACK_PROTOCOL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nic/pipeline.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace dagger::nic {
+
+class DaggerNic;
+
+/** Positive-ACK reliability with timeout retransmission. */
+class AckProtocol final : public ProtocolUnit
+{
+  public:
+    /**
+     * @param retransmit_timeout resend an unacked packet after this
+     * @param max_retries        give up (and count a loss) after this
+     *                           many resends
+     */
+    explicit AckProtocol(sim::Tick retransmit_timeout = sim::usToTicks(10),
+                         unsigned max_retries = 4)
+        : _timeout(retransmit_timeout), _maxRetries(max_retries)
+    {}
+
+    void attach(DaggerNic &nic) override;
+
+    bool onEgress(net::Packet &pkt) override;
+    bool onIngress(net::Packet &pkt) override;
+
+    const char *name() const override { return "ack"; }
+
+    /**
+     * Fault injection: silently discard the next @p n ingress data
+     * packets (no delivery, no ACK) — simulates wire loss for tests
+     * and failure-injection benches.
+     */
+    void dropNextIngress(unsigned n) { _dropNext = n; }
+
+    std::uint64_t acksSent() const { return _acksSent; }
+    std::uint64_t acksReceived() const { return _acksReceived; }
+    std::uint64_t retransmissions() const { return _retransmissions; }
+    std::uint64_t lost() const { return _lost; }
+    std::size_t unacked() const { return _pending.size(); }
+
+  private:
+    /** Sequence-number key of a data packet. */
+    struct Key
+    {
+        std::uint32_t conn;
+        std::uint32_t rpc;
+        std::uint8_t type;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::uint64_t v = (static_cast<std::uint64_t>(k.conn) << 34) ^
+                              (static_cast<std::uint64_t>(k.rpc) << 2) ^ k.type;
+            v *= 0x9e3779b97f4a7c15ull;
+            return static_cast<std::size_t>(v ^ (v >> 31));
+        }
+    };
+
+    struct Pending
+    {
+        net::Packet pkt;
+        unsigned retries = 0;
+    };
+
+    static Key keyOf(const net::Packet &pkt);
+    void armTimer(const Key &key);
+    void sendAck(const net::Packet &data);
+
+    /** fnId marker distinguishing ACK frames from data. */
+    static constexpr std::uint16_t kAckFn = 0xffff;
+
+    DaggerNic *_nic = nullptr;
+    sim::Tick _timeout;
+    unsigned _maxRetries;
+    std::unordered_map<Key, Pending, KeyHash> _pending;
+    unsigned _dropNext = 0;
+    std::uint64_t _acksSent = 0;
+    std::uint64_t _acksReceived = 0;
+    std::uint64_t _retransmissions = 0;
+    std::uint64_t _lost = 0;
+};
+
+} // namespace dagger::nic
+
+#endif // DAGGER_NIC_ACK_PROTOCOL_HH

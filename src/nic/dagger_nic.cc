@@ -1,0 +1,364 @@
+#include "nic/dagger_nic.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::nic {
+
+namespace {
+/// Hardware maximum frames per CCI-P transaction (auto-batch burst cap).
+constexpr std::size_t kHwMaxBatch = 16;
+/// Poll-mode management window (§4.4.1 load-triggered switch).
+constexpr sim::Tick kPollWindow = sim::usToTicks(10);
+} // namespace
+
+DaggerNic::DaggerNic(sim::EventQueue &eq, NicConfig cfg, SoftConfig soft,
+                     ic::CciPort &port, net::SwitchPort &net)
+    : _eq(eq), _cfg(cfg), _soft(soft), _port(port), _net(net),
+      // NOTE: the connection manager must reference the *member*
+      // config (_cfg), not the constructor parameter, which dies at
+      // return.
+      _cm(_cfg), _hcc(cfg.connMissPenalty),
+      _reqBuffer(kHwMaxBatch * cfg.numFlows, cfg.numFlows),
+      _flows(cfg.numFlows), _protocol(std::make_unique<ProtocolUnit>()),
+      _rrLb(std::make_unique<RoundRobinLb>()),
+      _staticLb(std::make_unique<StaticLb>()),
+      _objLb(std::make_unique<ObjectLevelLb>(0, 8))
+{
+    dagger_assert(cfg.numFlows >= 1, "NIC needs at least one flow");
+    _net.setReceiver([this](net::Packet pkt) { onNetReceive(std::move(pkt)); });
+}
+
+void
+DaggerNic::attachFlow(unsigned flow, rpc::TxRing *tx, rpc::RxRing *rx)
+{
+    dagger_assert(flow < _flows.size(), "bad flow ", flow);
+    dagger_assert(tx && rx, "attachFlow with null rings");
+    _flows[flow].tx = tx;
+    _flows[flow].rx = rx;
+    tx->setNotify([this, flow] { maybeFetch(flow); });
+}
+
+bool
+DaggerNic::openConnection(proto::ConnId id, const ConnTuple &tuple)
+{
+    dagger_assert(tuple.srcFlow < _cfg.numFlows,
+                  "connection src_flow out of range");
+    return _cm.open(id, tuple);
+}
+
+void
+DaggerNic::closeConnection(proto::ConnId id)
+{
+    _cm.close(id);
+}
+
+void
+DaggerNic::setObjectLevelKey(std::size_t key_offset, std::size_t key_len)
+{
+    _objLb = std::make_unique<ObjectLevelLb>(key_offset, key_len);
+}
+
+void
+DaggerNic::setProtocol(std::unique_ptr<ProtocolUnit> protocol)
+{
+    dagger_assert(protocol, "null protocol unit");
+    _protocol = std::move(protocol);
+    _protocol->attach(*this);
+}
+
+void
+DaggerNic::protocolEgress(net::Packet pkt)
+{
+    _net.send(std::move(pkt));
+}
+
+// ------------------------- RX path (host -> net) -------------------------
+
+void
+DaggerNic::maybeFetch(unsigned flow)
+{
+    FlowState &fs = _flows[flow];
+    if (!fs.tx)
+        return;
+    const unsigned B = effectiveBatch();
+    for (;;) {
+        const std::size_t avail = fs.tx->pendingFrames();
+        if (avail == 0)
+            return;
+        if (fs.outstandingFetches >= kMaxFlowFetches)
+            return; // completion will re-trigger
+        if (_soft.autoBatch) {
+            // Pull whatever is ready, up to the hardware burst cap.
+            issueFetch(flow, std::min(avail, kHwMaxBatch));
+            continue;
+        }
+        if (avail >= B) {
+            issueFetch(flow, B);
+            continue;
+        }
+        // Partial batch: wait for more entries or flush on timeout.
+        armFetchTimeout(flow);
+        return;
+    }
+}
+
+void
+DaggerNic::armFetchTimeout(unsigned flow)
+{
+    FlowState &fs = _flows[flow];
+    if (fs.fetchTimeoutArmed)
+        return;
+    fs.fetchTimeoutArmed = true;
+    _eq.schedule(_soft.batchTimeout,
+                 [this, flow] {
+                     FlowState &f = _flows[flow];
+                     f.fetchTimeoutArmed = false;
+                     const std::size_t avail = f.tx->pendingFrames();
+                     if (avail > 0 && avail < effectiveBatch() &&
+                         f.outstandingFetches < kMaxFlowFetches) {
+                         _monitor.timeoutFlushes.inc();
+                         issueFetch(flow, avail);
+                     }
+                     maybeFetch(flow);
+                 },
+                 sim::Priority::Hardware);
+}
+
+void
+DaggerNic::issueFetch(unsigned flow, std::size_t frames)
+{
+    FlowState &fs = _flows[flow];
+    auto claimed = fs.tx->popFrames(frames);
+    dagger_assert(claimed.size() == frames, "ring under-delivered");
+    ++fs.outstandingFetches;
+    _fetchesInWindow += frames; // request rate, not transaction rate
+    _monitor.framesFetched.inc(frames);
+    _monitor.fetchBatch.record(frames);
+    pollModeTick();
+    _port.fetch(static_cast<unsigned>(frames),
+                [this, flow, claimed = std::move(claimed)]() mutable {
+                    onFetched(flow, std::move(claimed));
+                });
+}
+
+void
+DaggerNic::onFetched(unsigned flow, std::vector<proto::Frame> frames)
+{
+    FlowState &fs = _flows[flow];
+    dagger_assert(fs.outstandingFetches > 0, "fetch completion underflow");
+    --fs.outstandingFetches;
+
+    // Release ring entries once the bookkeeping write lands.
+    const std::size_t n = frames.size();
+    _port.bookkeep([tx = fs.tx, n] { tx->release(n); });
+
+    // Serializer pipeline, then per-message egress.
+    _eq.schedule(pipelineDelay(),
+                 [this, flow, frames = std::move(frames)]() mutable {
+                     FlowState &f = _flows[flow];
+                     for (auto &frame : frames) {
+                         f.partial.push_back(std::move(frame));
+                         const auto need = f.partial.front().header.numFrames;
+                         if (f.partial.size() < need)
+                             continue;
+                         proto::RpcMessage msg;
+                         if (proto::RpcMessage::fromFrames(f.partial, msg)) {
+                             egressMessage(std::move(msg));
+                         } else {
+                             _monitor.malformed.inc();
+                         }
+                         f.partial.clear();
+                     }
+                     maybeFetch(flow);
+                 },
+                 sim::Priority::Hardware);
+}
+
+void
+DaggerNic::egressMessage(proto::RpcMessage msg)
+{
+    sim::Tick penalty = 0;
+    auto tuple = _cm.lookup(msg.connId(), CmReader::OutgoingFlow, penalty);
+    if (!tuple) {
+        _monitor.dropsNoConnection.inc();
+        return;
+    }
+    // Transport state for the connection lives in the HCC (§4.1);
+    // a cold line costs one coherent fill from host memory.
+    penalty += _hcc.access(msg.connId());
+    auto send = [this, dst = tuple->destAddr, msg = std::move(msg)]() {
+        net::Packet pkt;
+        pkt.dst = dst;
+        pkt.frames = msg.toFrames();
+        _monitor.rpcsOut.inc();
+        _monitor.bytesOut.inc(pkt.wireBytes());
+        if (_protocol->onEgress(pkt))
+            _net.send(std::move(pkt));
+    };
+    // Penalties stall the (in-order) egress pipeline: a later message
+    // must not overtake an earlier one that is waiting on a state
+    // fill, or per-flow FIFO order would break on the wire.
+    const sim::Tick ready = std::max(_eq.now() + penalty, _egressFreeAt);
+    _egressFreeAt = ready;
+    if (ready == _eq.now())
+        send();
+    else
+        _eq.scheduleAt(ready, std::move(send), sim::Priority::Hardware);
+}
+
+// ------------------------- TX path (net -> host) -------------------------
+
+void
+DaggerNic::onNetReceive(net::Packet pkt)
+{
+    if (!_protocol->onIngress(pkt))
+        return;
+    _eq.schedule(pipelineDelay(),
+                 [this, pkt = std::move(pkt)]() mutable {
+                     steerMessage(std::move(pkt));
+                 },
+                 sim::Priority::Hardware);
+}
+
+void
+DaggerNic::steerMessage(net::Packet pkt)
+{
+    proto::RpcMessage msg;
+    if (!proto::RpcMessage::fromFrames(pkt.frames, msg)) {
+        _monitor.malformed.inc();
+        return;
+    }
+    sim::Tick penalty = 0;
+    auto tuple = _cm.lookup(msg.connId(), CmReader::IncomingFlow, penalty);
+    if (!tuple) {
+        _monitor.dropsNoConnection.inc();
+        return;
+    }
+    penalty += _hcc.access(msg.connId());
+    const unsigned flow = msg.type() == proto::MsgType::Response
+        ? tuple->srcFlow % _cfg.numFlows
+        : pickFlow(msg, *tuple);
+    FlowState &fs = _flows[flow];
+    if (!fs.rx) {
+        _monitor.dropsNoConnection.inc();
+        return;
+    }
+    if (_reqBuffer.freeSlots() < pkt.frames.size()) {
+        _monitor.dropsNoSlot.inc();
+        return;
+    }
+    _monitor.rpcsIn.inc();
+    _monitor.bytesIn.inc(pkt.wireBytes());
+    for (auto &frame : pkt.frames)
+        _reqBuffer.push(flow, std::move(frame));
+    if (penalty == 0) {
+        maybePost(flow);
+    } else {
+        _eq.schedule(penalty, [this, flow] { maybePost(flow); },
+                     sim::Priority::Hardware);
+    }
+}
+
+unsigned
+DaggerNic::pickFlow(const proto::RpcMessage &msg, const ConnTuple &tuple)
+{
+    LoadBalancer *lb = nullptr;
+    switch (tuple.loadBalancer) {
+      case LbScheme::RoundRobin:
+        lb = _rrLb.get();
+        break;
+      case LbScheme::Static:
+        lb = _staticLb.get();
+        break;
+      case LbScheme::ObjectLevel:
+        lb = _objLb.get();
+        break;
+    }
+    dagger_assert(lb, "no load balancer instance");
+    return lb->pick(msg, tuple, activeFlows());
+}
+
+void
+DaggerNic::maybePost(unsigned flow)
+{
+    FlowState &fs = _flows[flow];
+    if (!fs.rx)
+        return;
+    const unsigned B = effectiveBatch();
+    for (;;) {
+        const std::size_t depth = _reqBuffer.flowDepth(flow);
+        if (depth == 0)
+            return;
+        if (_soft.autoBatch) {
+            issuePost(flow, std::min(depth, kHwMaxBatch));
+            continue;
+        }
+        if (depth >= B) {
+            issuePost(flow, B);
+            continue;
+        }
+        armPostTimeout(flow);
+        return;
+    }
+}
+
+void
+DaggerNic::armPostTimeout(unsigned flow)
+{
+    FlowState &fs = _flows[flow];
+    if (fs.postTimeoutArmed)
+        return;
+    fs.postTimeoutArmed = true;
+    _eq.schedule(_soft.batchTimeout,
+                 [this, flow] {
+                     FlowState &f = _flows[flow];
+                     f.postTimeoutArmed = false;
+                     const std::size_t depth = _reqBuffer.flowDepth(flow);
+                     if (depth > 0 && depth < effectiveBatch()) {
+                         _monitor.timeoutFlushes.inc();
+                         issuePost(flow, depth);
+                     }
+                     maybePost(flow);
+                 },
+                 sim::Priority::Hardware);
+}
+
+void
+DaggerNic::issuePost(unsigned flow, std::size_t frames)
+{
+    FlowState &fs = _flows[flow];
+    auto batch = _reqBuffer.pop(flow, frames);
+    dagger_assert(batch.size() == frames, "request buffer under-delivered");
+    _monitor.framesPosted.inc(frames);
+    _monitor.postBatch.record(frames);
+    _port.post(static_cast<unsigned>(frames),
+               [rx = fs.rx, batch = std::move(batch)]() mutable {
+                   rx->deliver(std::move(batch));
+               });
+}
+
+// ------------------------- poll-mode management -------------------------
+
+void
+DaggerNic::pollModeTick()
+{
+    if (_cfg.iface != ic::IfaceKind::Upi)
+        return;
+    static_assert(kPollWindow > 0);
+    // Lazily manage: this is called on every fetch; once per window we
+    // evaluate the observed fetch rate and pick the polling mode.
+    const sim::Tick now = _eq.now();
+    if (now < _lastPollEval + kPollWindow)
+        return;
+    const double window_us = sim::ticksToUs(now - _lastPollEval);
+    const double mrps = window_us > 0
+        ? static_cast<double>(_fetchesInWindow) / window_us
+        : 0.0;
+    _port.setPollMode(mrps >= _soft.llcPollThresholdMrps
+                          ? ic::PollMode::Llc
+                          : ic::PollMode::LocalCache);
+    _fetchesInWindow = 0;
+    _lastPollEval = now;
+}
+
+} // namespace dagger::nic

@@ -1,0 +1,130 @@
+#include "proto/wire.hh"
+
+namespace dagger::proto {
+
+RpcMessage::RpcMessage(ConnId conn, RpcId rpc, FnId fn, MsgType type,
+                       const void *payload, std::size_t len)
+    : _connId(conn), _rpcId(rpc), _fnId(fn), _type(type)
+{
+    dagger_assert(len <= 0xffff, "RPC payload too large: ", len);
+    _payload.resize(len);
+    if (len)
+        std::memcpy(_payload.data(), payload, len);
+}
+
+std::size_t
+RpcMessage::frameCount() const
+{
+    if (_payload.empty())
+        return 1;
+    return (_payload.size() + kFramePayload - 1) / kFramePayload;
+}
+
+std::uint8_t
+RpcMessage::computeChecksum() const
+{
+    std::uint8_t sum = 0;
+    for (std::uint8_t b : _payload)
+        sum ^= b;
+    return sum;
+}
+
+std::vector<Frame>
+RpcMessage::toFrames() const
+{
+    const std::size_t n = frameCount();
+    dagger_assert(n <= 0xff, "RPC needs too many frames: ", n);
+    std::vector<Frame> frames(n);
+    const std::uint8_t sum = computeChecksum();
+    for (std::size_t i = 0; i < n; ++i) {
+        Frame &f = frames[i];
+        f.header.connId = _connId;
+        f.header.rpcId = _rpcId;
+        f.header.fnId = _fnId;
+        f.header.payloadLen = static_cast<std::uint16_t>(_payload.size());
+        f.header.type = _type;
+        f.header.numFrames = static_cast<std::uint8_t>(n);
+        f.header.frameIdx = static_cast<std::uint8_t>(i);
+        f.header.checksum = sum;
+        const std::size_t off = i * kFramePayload;
+        if (off < _payload.size()) {
+            const std::size_t chunk =
+                std::min(kFramePayload, _payload.size() - off);
+            std::memcpy(f.payload.data(), _payload.data() + off, chunk);
+        }
+    }
+    return frames;
+}
+
+bool
+RpcMessage::fromFrames(const std::vector<Frame> &frames, RpcMessage &out)
+{
+    if (frames.empty())
+        return false;
+    const FrameHeader &h0 = frames.front().header;
+    if (h0.numFrames != frames.size())
+        return false;
+    const std::size_t expect_frames =
+        h0.payloadLen == 0
+            ? 1
+            : (h0.payloadLen + kFramePayload - 1) / kFramePayload;
+    if (expect_frames != frames.size())
+        return false;
+
+    out._connId = h0.connId;
+    out._rpcId = h0.rpcId;
+    out._fnId = h0.fnId;
+    out._type = h0.type;
+    out._payload.resize(h0.payloadLen);
+
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const Frame &f = frames[i];
+        if (f.header.frameIdx != i || f.header.connId != h0.connId ||
+            f.header.rpcId != h0.rpcId || f.header.numFrames != h0.numFrames)
+            return false;
+        const std::size_t off = i * kFramePayload;
+        if (off < out._payload.size()) {
+            const std::size_t chunk =
+                std::min(kFramePayload, out._payload.size() - off);
+            std::memcpy(out._payload.data() + off, f.payload.data(), chunk);
+        }
+    }
+    return out.computeChecksum() == h0.checksum;
+}
+
+bool
+Reassembler::push(const Frame &frame, RpcMessage &out)
+{
+    const FrameHeader &h = frame.header;
+    if (h.numFrames == 0) {
+        ++_malformed;
+        return false;
+    }
+    if (h.numFrames == 1) {
+        // Fast path: single-line RPC, no state needed.
+        if (RpcMessage::fromFrames({frame}, out))
+            return true;
+        ++_malformed;
+        return false;
+    }
+    const Key key{h.connId, h.rpcId, h.type};
+    Partial &p = _partial[key];
+    if (frame.header.frameIdx != p.frames.size()) {
+        // Out-of-sequence frame within a flow: the fabric preserves
+        // per-flow FIFO order, so this indicates corruption.  Drop the
+        // whole partial message.
+        ++_malformed;
+        _partial.erase(key);
+        return false;
+    }
+    p.frames.push_back(frame);
+    if (p.frames.size() < h.numFrames)
+        return false;
+    const bool ok = RpcMessage::fromFrames(p.frames, out);
+    _partial.erase(key);
+    if (!ok)
+        ++_malformed;
+    return ok;
+}
+
+} // namespace dagger::proto

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Dagger wire format.
+ *
+ * The CPU–NIC MTU of a coherent memory interconnect is one cache line
+ * (64 B, paper §4.7).  Every RPC therefore travels as one or more
+ * 64-byte frames.  Each frame carries a 16-byte header and up to 48
+ * bytes of payload; RPCs larger than 48 B are split into multiple
+ * frames and reassembled in software (the paper's stated limitation —
+ * hardware CAM-based reassembly is future work there and here).
+ */
+
+#ifndef DAGGER_PROTO_WIRE_HH
+#define DAGGER_PROTO_WIRE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dagger::proto {
+
+/** Cache line size of the host CPU and the interconnect MTU. */
+constexpr std::size_t kCacheLineBytes = 64;
+
+/** Header bytes per frame. */
+constexpr std::size_t kHeaderBytes = 16;
+
+/** Payload bytes per frame. */
+constexpr std::size_t kFramePayload = kCacheLineBytes - kHeaderBytes;
+
+/** Request vs. response marker (paper §4.4: "request type field"). */
+enum class MsgType : std::uint8_t {
+    Request = 1,
+    Response = 2,
+};
+
+/** Connection identifier (c_id in the paper's connection table). */
+using ConnId = std::uint32_t;
+
+/** Per-connection RPC sequence number; pairs responses to requests. */
+using RpcId = std::uint32_t;
+
+/** Remote function identifier assigned by the IDL code generator. */
+using FnId = std::uint16_t;
+
+/**
+ * Frame header, 16 bytes, packed.  Every 64 B frame of a multi-frame
+ * RPC repeats the header with an incremented frame_idx so that frames
+ * are self-describing (the reassembler needs no per-flow state beyond
+ * a map keyed by (conn_id, rpc_id)).
+ */
+struct FrameHeader
+{
+    ConnId connId = 0;
+    RpcId rpcId = 0;
+    FnId fnId = 0;
+    std::uint16_t payloadLen = 0; ///< total RPC payload bytes
+    MsgType type = MsgType::Request;
+    std::uint8_t numFrames = 1;
+    std::uint8_t frameIdx = 0;
+    std::uint8_t checksum = 0;    ///< xor over the full payload
+
+    bool operator==(const FrameHeader &) const = default;
+};
+
+static_assert(sizeof(FrameHeader) == kHeaderBytes,
+              "FrameHeader must be exactly 16 bytes");
+
+/** One 64-byte frame: what actually crosses the interconnect. */
+struct Frame
+{
+    FrameHeader header;
+    std::array<std::uint8_t, kFramePayload> payload{};
+};
+
+static_assert(sizeof(Frame) == kCacheLineBytes,
+              "Frame must be exactly one cache line");
+
+/**
+ * A complete RPC message: header metadata plus contiguous payload.
+ * This is the unit the software API and the NIC RPC unit operate on.
+ */
+class RpcMessage
+{
+  public:
+    RpcMessage() = default;
+
+    /** Build a message from raw payload bytes. */
+    RpcMessage(ConnId conn, RpcId rpc, FnId fn, MsgType type,
+               const void *payload, std::size_t len);
+
+    ConnId connId() const { return _connId; }
+    RpcId rpcId() const { return _rpcId; }
+    FnId fnId() const { return _fnId; }
+    MsgType type() const { return _type; }
+
+    const std::vector<std::uint8_t> &payload() const { return _payload; }
+    std::size_t payloadLen() const { return _payload.size(); }
+
+    /** Number of 64 B frames this message occupies on the wire. */
+    std::size_t frameCount() const;
+
+    /** Total wire bytes (frames * 64). */
+    std::size_t wireBytes() const { return frameCount() * kCacheLineBytes; }
+
+    /** xor checksum over the payload. */
+    std::uint8_t computeChecksum() const;
+
+    /** Split into wire frames. */
+    std::vector<Frame> toFrames() const;
+
+    /**
+     * Reassemble from frames.  Frames may arrive in order within one
+     * message (per-flow FIFO order is preserved by the fabric).
+     * @retval false malformed input (count/len/checksum mismatch).
+     */
+    static bool fromFrames(const std::vector<Frame> &frames,
+                           RpcMessage &out);
+
+    /** Copy payload into a POD @p T (size must match exactly). */
+    template <typename T>
+    bool
+    payloadAs(T &out) const
+    {
+        if (_payload.size() != sizeof(T))
+            return false;
+        std::memcpy(&out, _payload.data(), sizeof(T));
+        return true;
+    }
+
+    /** Build a message whose payload is the bytes of POD @p value. */
+    template <typename T>
+    static RpcMessage
+    ofPod(ConnId conn, RpcId rpc, FnId fn, MsgType type, const T &value)
+    {
+        return RpcMessage(conn, rpc, fn, type, &value, sizeof(T));
+    }
+
+  private:
+    ConnId _connId = 0;
+    RpcId _rpcId = 0;
+    FnId _fnId = 0;
+    MsgType _type = MsgType::Request;
+    std::vector<std::uint8_t> _payload;
+};
+
+/**
+ * Software frame reassembler (paper §4.7: "Dagger only features
+ * software-based RPC reassembling").  Keyed by (conn, rpc, type);
+ * complete() fires the instant the last frame of a message arrives.
+ */
+class Reassembler
+{
+  public:
+    /**
+     * Feed one frame.
+     * @retval true @p out now holds a complete message.
+     */
+    bool push(const Frame &frame, RpcMessage &out);
+
+    /** Messages currently under assembly. */
+    std::size_t inFlight() const { return _partial.size(); }
+
+    /** Frames dropped due to malformed sequences. */
+    std::uint64_t malformed() const { return _malformed; }
+
+  private:
+    struct Key
+    {
+        ConnId conn;
+        RpcId rpc;
+        MsgType type;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::uint64_t v = (static_cast<std::uint64_t>(k.conn) << 32) ^
+                              (static_cast<std::uint64_t>(k.rpc) << 2) ^
+                              static_cast<std::uint64_t>(k.type);
+            v *= 0x9e3779b97f4a7c15ull;
+            return static_cast<std::size_t>(v ^ (v >> 32));
+        }
+    };
+
+    struct Partial
+    {
+        std::vector<Frame> frames;
+    };
+
+    std::unordered_map<Key, Partial, KeyHash> _partial;
+    std::uint64_t _malformed = 0;
+};
+
+} // namespace dagger::proto
+
+#endif // DAGGER_PROTO_WIRE_HH

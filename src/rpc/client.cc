@@ -1,0 +1,141 @@
+#include "rpc/client.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::rpc {
+
+RpcClient::RpcClient(DaggerNode &node, unsigned flow, HwThread &thread)
+    : _node(node), _flow(flow), _thread(thread)
+{
+    dagger_assert(flow < node.numFlows(), "client flow out of range");
+    node.flow(flow).rx.setNotify([this] {
+        if (_rxScheduled)
+            return;
+        _rxScheduled = true;
+        processResponses();
+    });
+}
+
+void
+RpcClient::setBestEffort(bool on)
+{
+    _bestEffort = on;
+    if (on)
+        _node.flow(_flow).rx.setNotify({});
+}
+
+void
+RpcClient::callAsyncOn(proto::ConnId conn, proto::FnId fn, const void *data,
+                       std::size_t len, ResponseCb cb)
+{
+    dagger_assert(conn != 0, "callAsync without a connection");
+    DaggerSystem &sys = _node.system();
+    sim::Tick cost = sys.sendCpuCost(_node) +
+                     _node.nicDev().cciPort().hostPollPenalty();
+    if (_shared)
+        cost += sys.swCost().srqLockCost;
+
+    const proto::RpcId rpc_id = _nextRpcId++;
+    proto::RpcMessage msg(conn, rpc_id, fn, proto::MsgType::Request, data,
+                          len);
+    if (_bestEffort) {
+        // Fire and forget: no pending entry, no completion tracking.
+        _thread.execute(cost, [this, msg = std::move(msg)]() {
+            if (_node.flow(_flow).tx.push(msg))
+                ++_sent;
+            else
+                ++_sendFailures;
+        });
+        return;
+    }
+    _pending.emplace(rpc_id, Pending{std::move(cb), 0});
+
+    _thread.execute(cost, [this, rpc_id, msg = std::move(msg)]() {
+        auto it = _pending.find(rpc_id);
+        if (it == _pending.end())
+            return; // cancelled
+        if (!_node.flow(_flow).tx.push(msg)) {
+            ++_sendFailures;
+            _pending.erase(it);
+            return;
+        }
+        it->second.sentAt = _node.system().eq().now();
+        ++_sent;
+    });
+}
+
+void
+RpcClient::callOneWay(proto::FnId fn, const void *data, std::size_t len)
+{
+    dagger_assert(_conn != 0, "callOneWay without a connection");
+    DaggerSystem &sys = _node.system();
+    sim::Tick cost = sys.sendCpuCost(_node) +
+                     _node.nicDev().cciPort().hostPollPenalty();
+    if (_shared)
+        cost += sys.swCost().srqLockCost;
+    proto::RpcMessage msg(_conn, _nextRpcId++, fn, proto::MsgType::Request,
+                          data, len);
+    _thread.execute(cost, [this, msg = std::move(msg)]() {
+        if (_node.flow(_flow).tx.push(msg))
+            ++_sent;
+        else
+            ++_sendFailures;
+    });
+}
+
+void
+RpcClient::processResponses()
+{
+    proto::RpcMessage msg;
+    if (!_node.flow(_flow).rx.popMessage(msg)) {
+        _rxScheduled = false;
+        return;
+    }
+    const SwCost &costs = _node.system().swCost();
+    _thread.execute(costs.completionCost,
+                    [this, msg = std::move(msg)]() mutable {
+                        auto it = _pending.find(msg.rpcId());
+                        if (it == _pending.end()) {
+                            ++_orphans;
+                        } else {
+                            ++_responses;
+                            const sim::Tick now = _node.system().eq().now();
+                            if (it->second.sentAt)
+                                _latency.record(now - it->second.sentAt);
+                            ResponseCb cb = std::move(it->second.cb);
+                            _pending.erase(it);
+                            if (cb)
+                                cb(msg);
+                            else
+                                _cq.push(std::move(msg));
+                        }
+                        processResponses();
+                    });
+}
+
+RpcClient &
+RpcClientPool::addClient(unsigned flow, HwThread &thread)
+{
+    _clients.push_back(std::make_unique<RpcClient>(_node, flow, thread));
+    return *_clients.back();
+}
+
+sim::Histogram
+RpcClientPool::aggregateLatency() const
+{
+    sim::Histogram h("pool_rtt");
+    for (const auto &c : _clients)
+        h.merge(c->_latency);
+    return h;
+}
+
+std::uint64_t
+RpcClientPool::totalResponses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : _clients)
+        n += c->_responses;
+    return n;
+}
+
+} // namespace dagger::rpc

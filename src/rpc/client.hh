@@ -1,0 +1,168 @@
+/**
+ * @file
+ * RpcClient / RpcClientPool: the client half of the Dagger API (§4.2).
+ *
+ * Each RpcClient is 1-to-1 mapped to a NIC flow and its RX/TX ring
+ * pair (Fig. 7).  Calls are asynchronous: the continuation (or the
+ * CompletionQueue) receives the response on the client's hardware
+ * thread.  Several connections may share one client's rings — the
+ * Shared Receive Queue model — in which case an explicit lock cost is
+ * charged on the TX path.
+ */
+
+#ifndef DAGGER_RPC_CLIENT_HH
+#define DAGGER_RPC_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/wire.hh"
+#include "rpc/completion_queue.hh"
+#include "rpc/cpu.hh"
+#include "rpc/system.hh"
+#include "sim/stats.hh"
+
+namespace dagger::rpc {
+
+/** The client endpoint for one NIC flow. */
+class RpcClient
+{
+  public:
+    using ResponseCb = std::function<void(const proto::RpcMessage &)>;
+
+    /**
+     * @param node   the Dagger node (NIC + rings) this client uses
+     * @param flow   NIC flow owned by this client
+     * @param thread hardware thread the client's software runs on
+     */
+    RpcClient(DaggerNode &node, unsigned flow, HwThread &thread);
+
+    RpcClient(const RpcClient &) = delete;
+    RpcClient &operator=(const RpcClient &) = delete;
+
+    /** Bind the default connection used by callAsync. */
+    void setConnection(proto::ConnId conn) { _conn = conn; }
+    proto::ConnId connection() const { return _conn; }
+
+    /**
+     * Issue a non-blocking call on the default connection.
+     * The continuation runs on this client's hardware thread when the
+     * response arrives; with no continuation the response lands in
+     * the CompletionQueue.
+     */
+    void
+    callAsync(proto::FnId fn, const void *data, std::size_t len,
+              ResponseCb cb = {})
+    {
+        callAsyncOn(_conn, fn, data, len, std::move(cb));
+    }
+
+    /** Issue a non-blocking call on an explicit connection (SRQ). */
+    void callAsyncOn(proto::ConnId conn, proto::FnId fn, const void *data,
+                     std::size_t len, ResponseCb cb = {});
+
+    /**
+     * One-way call: fire-and-forget, no response expected and no
+     * completion-tracking state kept (IDL `returns(void)` rpcs).
+     */
+    void callOneWay(proto::FnId fn, const void *data, std::size_t len);
+
+    /** POD-payload convenience wrapper. */
+    template <typename T>
+    void
+    callPod(proto::FnId fn, const T &value, ResponseCb cb = {})
+    {
+        callAsync(fn, &value, sizeof(T), std::move(cb));
+    }
+
+    /**
+     * Mark this client's rings as shared between multiple software
+     * threads; charges the SRQ lock cost on every send (§4.2).
+     */
+    void setSharedByThreads(bool shared) { _shared = shared; }
+
+    /**
+     * Best-effort mode (§5.3's 16.5 Mrps peak): fire-and-forget sends
+     * with no completion tracking; responses pile up in the RX ring
+     * and overflow as drops ("best-effort request processing by
+     * allowing arbitrary packet drops").
+     */
+    void setBestEffort(bool on);
+
+    CompletionQueue &completions() { return _cq; }
+
+    std::uint64_t sent() const { return _sent; }
+    std::uint64_t responses() const { return _responses; }
+    std::uint64_t sendFailures() const { return _sendFailures; }
+    std::uint64_t orphanResponses() const { return _orphans; }
+    std::size_t pendingCalls() const { return _pending.size(); }
+
+    /** Round-trip latency of completed calls, in ticks. */
+    sim::Histogram &latency() { return _latency; }
+
+    HwThread &thread() { return _thread; }
+    DaggerNode &node() { return _node; }
+    unsigned flow() const { return _flow; }
+
+  private:
+    friend class RpcClientPool;
+
+    void processResponses();
+
+    DaggerNode &_node;
+    unsigned _flow;
+    HwThread &_thread;
+    proto::ConnId _conn = 0;
+    proto::RpcId _nextRpcId = 1;
+    bool _shared = false;
+    bool _bestEffort = false;
+    bool _rxScheduled = false;
+
+    struct Pending
+    {
+        ResponseCb cb;
+        sim::Tick sentAt;
+    };
+    std::unordered_map<proto::RpcId, Pending> _pending;
+
+    CompletionQueue _cq;
+    sim::Histogram _latency{"rpc_rtt"};
+    std::uint64_t _sent = 0;
+    std::uint64_t _responses = 0;
+    std::uint64_t _sendFailures = 0;
+    std::uint64_t _orphans = 0;
+};
+
+/**
+ * RpcClientPool: "encapsulates a pool of RPC clients (RpcClient) that
+ * concurrently call remote procedures registered in the corresponding
+ * RpcThreadedServer" (§4.2).
+ */
+class RpcClientPool
+{
+  public:
+    explicit RpcClientPool(DaggerNode &node) : _node(node) {}
+
+    /** Create a client on @p flow bound to @p thread. */
+    RpcClient &addClient(unsigned flow, HwThread &thread);
+
+    RpcClient &client(std::size_t i) { return *_clients.at(i); }
+    std::size_t size() const { return _clients.size(); }
+    DaggerNode &node() { return _node; }
+
+    /** Aggregate RTT histogram across the pool's clients. */
+    sim::Histogram aggregateLatency() const;
+
+    /** Aggregate completed-response count. */
+    std::uint64_t totalResponses() const;
+
+  private:
+    DaggerNode &_node;
+    std::vector<std::unique_ptr<RpcClient>> _clients;
+};
+
+} // namespace dagger::rpc
+
+#endif // DAGGER_RPC_CLIENT_HH

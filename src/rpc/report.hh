@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable statistics reports (gem5 stats-dump style).
+ *
+ * The paper's Packet Monitor "collects various networking statistics"
+ * (§4.1); this is the operator-facing view: per-NIC counters, channel
+ * utilization, connection-cache and HCC hit rates, ring/switch drops.
+ */
+
+#ifndef DAGGER_RPC_REPORT_HH
+#define DAGGER_RPC_REPORT_HH
+
+#include <string>
+
+#include "rpc/system.hh"
+
+namespace dagger::rpc {
+
+/** Render one NIC's monitor/caches as an indented text block. */
+std::string reportNic(DaggerNode &node);
+
+/** Render the whole deployment: fabric, switch, every node. */
+std::string reportSystem(DaggerSystem &sys);
+
+} // namespace dagger::rpc
+
+#endif // DAGGER_RPC_REPORT_HH

@@ -1,0 +1,202 @@
+#include "rpc/server.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::rpc {
+
+WorkerPool::WorkerPool(DaggerSystem &sys, std::vector<HwThread *> workers)
+    : _sys(sys), _workers(std::move(workers))
+{
+    dagger_assert(!_workers.empty(), "worker pool needs threads");
+}
+
+void
+WorkerPool::submit(sim::Tick cost, sim::EventFn fn)
+{
+    ++_submitted;
+    const sim::Tick delay = _sys.swCost().workerHandoffDelay;
+    _sys.eq().schedule(delay, [this, cost, fn = std::move(fn)]() mutable {
+        // Pick the least-loaded worker at wakeup time.
+        HwThread *best = _workers.front();
+        for (HwThread *w : _workers)
+            if (w->busyUntil() < best->busyUntil())
+                best = w;
+        best->execute(cost, std::move(fn));
+    });
+}
+
+RpcServerThread::RpcServerThread(DaggerNode &node, unsigned flow,
+                                 HwThread &dispatch)
+    : _node(node), _flow(flow), _dispatch(dispatch)
+{
+    dagger_assert(flow < node.numFlows(), "server flow out of range");
+    node.flow(flow).rx.setNotify([this] {
+        if (_rxScheduled)
+            return;
+        _rxScheduled = true;
+        processNext();
+    });
+    node.flow(flow).tx.setSpaceNotify([this] { flushResponses(); });
+}
+
+void
+RpcServerThread::registerHandler(proto::FnId fn, Handler handler)
+{
+    dagger_assert(handler, "null handler for fn ", fn);
+    _handlers[fn] = std::move(handler);
+}
+
+void
+RpcServerThread::resume()
+{
+    if (!_paused)
+        return;
+    _paused = false;
+    if (!_rxScheduled) {
+        _rxScheduled = true;
+        processNext();
+    }
+}
+
+void
+RpcServerThread::processNext()
+{
+    if (_paused) {
+        _rxScheduled = false;
+        return;
+    }
+    proto::RpcMessage msg;
+    if (!_node.flow(_flow).rx.popMessage(msg)) {
+        _rxScheduled = false;
+        return;
+    }
+    const SwCost &costs = _node.system().swCost();
+
+    auto it = _handlers.find(msg.fnId());
+    if (it == _handlers.end()) {
+        ++_unhandled;
+        _dispatch.execute(costs.pollCost, [this] { processNext(); });
+        return;
+    }
+
+    // The handler runs functionally now; its simulated cost is charged
+    // on the executing thread below.
+    HandlerOutcome outcome = it->second(msg);
+    ++_processed;
+
+    if (_pool) {
+        // Optimized model: dispatch pays poll + deser + handoff; the
+        // worker pays the handler and response-send costs.
+        const sim::Tick dispatch_cost = costs.pollCost +
+            costs.deserializeCost + costs.workerHandoffCpu;
+        _dispatch.execute(
+            dispatch_cost,
+            [this, msg = std::move(msg), outcome = std::move(outcome)]() mutable {
+                const sim::Tick worker_cost = outcome.cost +
+                    (outcome.respond
+                         ? _node.system().sendCpuCost(_node)
+                         : 0);
+                _pool->submit(worker_cost,
+                              [this, msg = std::move(msg),
+                               outcome = std::move(outcome)]() mutable {
+                                  finishRequest(msg, std::move(outcome));
+                              });
+                processNext();
+            });
+        return;
+    }
+
+    // Simple model: everything in the dispatch thread.
+    const sim::Tick total = costs.pollCost + costs.deserializeCost +
+        outcome.cost +
+        (outcome.respond ? _node.system().sendCpuCost(_node) : 0);
+    _dispatch.execute(total,
+                      [this, msg = std::move(msg),
+                       outcome = std::move(outcome)]() mutable {
+                          finishRequest(msg, std::move(outcome));
+                          processNext();
+                      });
+}
+
+void
+RpcServerThread::respondLater(proto::ConnId conn, proto::RpcId rpc,
+                              proto::FnId fn, const void *data,
+                              std::size_t len)
+{
+    proto::RpcMessage resp(conn, rpc, fn, proto::MsgType::Response, data,
+                           len);
+    _dispatch.execute(_node.system().sendCpuCost(_node),
+                      [this, resp = std::move(resp)]() mutable {
+                          TxRing &tx = _node.flow(_flow).tx;
+                          if (!_txBacklog.empty() || !tx.push(resp)) {
+                              ++_txBlocked;
+                              _txBacklog.push_back(std::move(resp));
+                              return;
+                          }
+                          ++_responsesSent;
+                      });
+}
+
+void
+RpcServerThread::finishRequest(const proto::RpcMessage &req,
+                               HandlerOutcome outcome)
+{
+    if (!outcome.respond)
+        return;
+    proto::RpcMessage resp(req.connId(), req.rpcId(), req.fnId(),
+                           proto::MsgType::Response,
+                           outcome.response.data(),
+                           outcome.response.size());
+    TxRing &tx = _node.flow(_flow).tx;
+    if (!_txBacklog.empty() || !tx.push(resp)) {
+        ++_txBlocked;
+        _txBacklog.push_back(std::move(resp));
+        return;
+    }
+    ++_responsesSent;
+}
+
+void
+RpcServerThread::flushResponses()
+{
+    TxRing &tx = _node.flow(_flow).tx;
+    while (!_txBacklog.empty() && tx.push(_txBacklog.front())) {
+        _txBacklog.pop_front();
+        ++_responsesSent;
+    }
+}
+
+RpcServerThread &
+RpcThreadedServer::addThread(unsigned flow, HwThread &thread)
+{
+    _threads.push_back(
+        std::make_unique<RpcServerThread>(_node, flow, thread));
+    return *_threads.back();
+}
+
+void
+RpcThreadedServer::registerHandler(proto::FnId fn, const Handler &handler)
+{
+    dagger_assert(!_threads.empty(),
+                  "register handlers after adding server threads");
+    for (auto &t : _threads)
+        t->registerHandler(fn, handler);
+}
+
+void
+RpcThreadedServer::setWorkerPool(WorkerPool *pool)
+{
+    for (auto &t : _threads)
+        t->setWorkerPool(pool);
+}
+
+std::uint64_t
+RpcThreadedServer::totalProcessed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : _threads)
+        n += t->processed();
+    return n;
+}
+
+} // namespace dagger::rpc

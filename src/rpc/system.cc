@@ -1,0 +1,81 @@
+#include "rpc/system.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::rpc {
+
+DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
+                           ic::PcieCost pcie)
+    : _fabric(_eq, iface, 0, upi, pcie), _tor(_eq)
+{
+}
+
+FlowRings &
+DaggerNode::flow(unsigned i)
+{
+    dagger_assert(i < _rings.size(), "bad flow ", i);
+    return *_rings[i];
+}
+
+DaggerNode &
+DaggerSystem::addNode(nic::NicConfig cfg, nic::SoftConfig soft)
+{
+    auto node = std::unique_ptr<DaggerNode>(new DaggerNode());
+    node->_system = this;
+    node->_id = static_cast<net::NodeId>(_nodes.size());
+
+    ic::CciPort &port = _fabric.addPort();
+    net::SwitchPort &sw = _tor.attach(node->_id);
+    node->_nic = std::make_unique<nic::DaggerNic>(_eq, cfg, soft, port, sw);
+
+    node->_rings.reserve(cfg.numFlows);
+    for (unsigned f = 0; f < cfg.numFlows; ++f) {
+        node->_rings.push_back(std::make_unique<FlowRings>(
+            cfg.txRingEntries, cfg.rxRingEntries));
+        node->_nic->attachFlow(f, &node->_rings[f]->tx,
+                               &node->_rings[f]->rx);
+    }
+    _nodes.push_back(std::move(node));
+    return *_nodes.back();
+}
+
+proto::ConnId
+DaggerSystem::connect(DaggerNode &client, unsigned client_flow,
+                      DaggerNode &server, unsigned server_flow,
+                      nic::LbScheme lb)
+{
+    dagger_assert(client_flow < client.numFlows(),
+                  "client flow out of range");
+    const auto id = static_cast<proto::ConnId>(_conns.size() + 1);
+
+    nic::ConnTuple client_tuple;
+    client_tuple.srcFlow = client_flow;
+    client_tuple.destAddr = server.id();
+    client_tuple.loadBalancer = lb;
+
+    nic::ConnTuple server_tuple;
+    server_tuple.srcFlow = server_flow;
+    server_tuple.destAddr = client.id();
+    server_tuple.loadBalancer = lb;
+
+    if (!client.nicDev().openConnection(id, client_tuple))
+        dagger_fatal("connection cache conflict on client NIC; enable "
+                     "connCacheDramBacking or enlarge the cache");
+    if (!server.nicDev().openConnection(id, server_tuple))
+        dagger_fatal("connection cache conflict on server NIC; enable "
+                     "connCacheDramBacking or enlarge the cache");
+
+    _conns.push_back(ConnRecord{client.id(), server.id()});
+    return id;
+}
+
+void
+DaggerSystem::disconnect(proto::ConnId id)
+{
+    dagger_assert(id >= 1 && id <= _conns.size(), "unknown connection ", id);
+    const ConnRecord &rec = _conns[id - 1];
+    _nodes.at(rec.client)->nicDev().closeConnection(id);
+    _nodes.at(rec.server)->nicDev().closeConnection(id);
+}
+
+} // namespace dagger::rpc

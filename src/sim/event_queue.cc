@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+namespace dagger::sim {
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn, Priority prio)
+{
+    dagger_assert(when >= _now,
+                  "scheduleAt in the past: when=", when, " now=", _now);
+    dagger_assert(fn, "scheduleAt with empty callback");
+    _heap.push(Event{when, static_cast<std::uint32_t>(prio), _seq++,
+                     std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_heap.empty())
+        return false;
+    // priority_queue::top() is const; the event is copied out so the
+    // callback may schedule new events (mutating the heap) safely.
+    Event ev = _heap.top();
+    _heap.pop();
+    _now = ev.when;
+    ++_executed;
+    ev.fn();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick when)
+{
+    while (!_heap.empty() && _heap.top().when <= when)
+        runOne();
+    if (_now < when)
+        _now = when;
+}
+
+void
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (runOne()) {
+        if (++n >= max_events)
+            dagger_panic("runAll exceeded ", max_events,
+                         " events; likely a self-rescheduling loop");
+    }
+}
+
+} // namespace dagger::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are ordered by (tick, priority, insertion sequence), so two runs
+ * with the same schedule order produce identical execution orders.  The
+ * whole simulation runs on one OS thread; simulated concurrency (CPU
+ * cores, NIC pipeline stages, the switch) is expressed purely as events.
+ */
+
+#ifndef DAGGER_SIM_EVENT_QUEUE_HH
+#define DAGGER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/time.hh"
+
+namespace dagger::sim {
+
+/** Event callback type. */
+using EventFn = std::function<void()>;
+
+/**
+ * Scheduling priority; lower values run first among same-tick events.
+ * The defaults below keep hardware "before" software within a tick,
+ * mirroring how the NIC commits ring entries before a polling core
+ * could observe them.
+ */
+enum class Priority : std::uint32_t {
+    Hardware = 0,
+    Default = 100,
+    Software = 200,
+    Stats = 1000,
+};
+
+/**
+ * The central event queue.  One instance per simulation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    schedule(TickDelta delay, EventFn fn,
+             Priority prio = Priority::Default)
+    {
+        scheduleAt(_now + delay, std::move(fn), prio);
+    }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void scheduleAt(Tick when, EventFn fn,
+                    Priority prio = Priority::Default);
+
+    /** True when no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Run the single earliest event.
+     * @retval true an event ran; false the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until simulated time reaches @p when (inclusive of
+     * events at exactly @p when) or the queue drains.  Time is advanced
+     * to @p when even if the queue drains earlier.
+     */
+    void runUntil(Tick when);
+
+    /** Run for a relative window. */
+    void runFor(TickDelta window) { runUntil(_now + window); }
+
+    /** Drain the queue completely (use in tests; unbounded). */
+    void runAll(std::uint64_t max_events = UINT64_MAX);
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint32_t prio;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> _heap;
+};
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulated time base for the Dagger discrete-event simulator.
+ *
+ * All simulated time is kept in integer picoseconds.  Picosecond
+ * resolution lets us express both NIC clock cycles (5 ns at 200 MHz)
+ * and sub-nanosecond CPU cost fractions without rounding drift.
+ */
+
+#ifndef DAGGER_SIM_TIME_HH
+#define DAGGER_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace dagger::sim {
+
+/** Simulated time in picoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** A time delta in picoseconds. */
+using TickDelta = std::uint64_t;
+
+constexpr Tick kPsPerNs = 1000ull;
+constexpr Tick kPsPerUs = 1000ull * kPsPerNs;
+constexpr Tick kPsPerMs = 1000ull * kPsPerUs;
+constexpr Tick kPsPerSec = 1000ull * kPsPerMs;
+
+/** Convert nanoseconds (fractional allowed) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kPsPerNs) + 0.5);
+}
+
+/** Convert microseconds (fractional allowed) to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kPsPerUs) + 0.5);
+}
+
+/** Convert milliseconds (fractional allowed) to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kPsPerMs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kPsPerNs);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kPsPerUs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kPsPerSec);
+}
+
+/**
+ * Convert an event rate over a tick window into millions of events
+ * per second.  Returns 0 for an empty window.
+ */
+constexpr double
+ratePerSec(std::uint64_t events, Tick window)
+{
+    return window == 0
+        ? 0.0
+        : static_cast<double>(events) / ticksToSec(window);
+}
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_TIME_HH

@@ -1,0 +1,341 @@
+#include "svc/flight.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dagger::svc {
+
+namespace {
+
+/** The one RPC every compute tier serves. */
+constexpr proto::FnId kProcess = 1;
+
+#pragma pack(push, 1)
+struct TierReq
+{
+    std::uint64_t passengerId = 0;
+};
+
+struct TierResp
+{
+    std::uint64_t passengerId = 0;
+    std::uint32_t status = 0;
+};
+#pragma pack(pop)
+
+std::string
+keyFor(std::uint64_t pid)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, pid);
+    return std::string(buf, 16);
+}
+
+/** Pre-seeded Citizens records. */
+constexpr std::uint64_t kCitizens = 200'000;
+
+} // namespace
+
+FlightApp::FlightApp(FlightConfig cfg)
+    : _cfg(cfg), _cpus(_sys.eq(), 12 + std::max(1u, cfg.flightWorkers)),
+      _rng(cfg.seed)
+{
+    buildTiers();
+    installHandlers();
+}
+
+void
+FlightApp::buildTiers()
+{
+    nic::SoftConfig soft;
+    soft.autoBatch = true; // latency-sensitive tiers: no batch waits
+
+    auto thr = [this](unsigned core) -> rpc::HwThread & {
+        return _cpus.core(core).thread(0);
+    };
+
+    // Tiers (server flow + downstream client flows).
+    _checkin = std::make_unique<Tier>(_sys, "checkin", thr(2), 4,
+                                      nic::NicConfig{}, soft);
+    _flight = std::make_unique<Tier>(_sys, "flight", thr(3), 0,
+                                     nic::NicConfig{}, soft);
+    _baggage = std::make_unique<Tier>(_sys, "baggage", thr(4), 0,
+                                      nic::NicConfig{}, soft);
+    _passport = std::make_unique<Tier>(_sys, "passport", thr(5), 1,
+                                       nic::NicConfig{}, soft);
+    _airport = std::make_unique<Tier>(_sys, "airport", thr(6), 0,
+                                      nic::NicConfig{}, soft);
+    _citizens = std::make_unique<Tier>(_sys, "citizens", thr(7), 0,
+                                       nic::NicConfig{}, soft);
+
+    // Stores: single-partition MICA caches behind the two DB tiers.
+    _airportStore = std::make_unique<app::MicaKvs>(1, 16u << 20, 1u << 15);
+    _citizensStore = std::make_unique<app::MicaKvs>(1, 32u << 20, 1u << 16);
+    for (std::uint64_t pid = 1; pid <= kCitizens; ++pid)
+        _citizensStore->partition(0).set(keyFor(pid), "citizen-ok");
+
+    _airportBackend = std::make_unique<app::MicaBackend>(*_airportStore);
+    _citizensBackend = std::make_unique<app::MicaBackend>(*_citizensStore);
+    _airportSrv = std::make_unique<app::KvsServer>(_airport->server(),
+                                                   *_airportBackend);
+    _citizensSrv = std::make_unique<app::KvsServer>(_citizens->server(),
+                                                    *_citizensBackend);
+
+    // Downstream connections (static LB: each tier has one server flow).
+    _toFlight = &_checkin->connectTo(*_flight, nic::LbScheme::Static);
+    _toBaggage = &_checkin->connectTo(*_baggage, nic::LbScheme::Static);
+    _toPassport = &_checkin->connectTo(*_passport, nic::LbScheme::Static);
+    auto &airport_client =
+        _checkin->connectTo(*_airport, nic::LbScheme::Static);
+    _toAirport = std::make_unique<app::KvsClient>(airport_client);
+    auto &citizens_client =
+        _passport->connectTo(*_citizens, nic::LbScheme::Static);
+    _toCitizens = std::make_unique<app::KvsClient>(citizens_client);
+
+    // Front-ends: client-only nodes.
+    nic::NicConfig fe_cfg;
+    fe_cfg.numFlows = 1;
+    _passengerNode = &_sys.addNode(fe_cfg, soft);
+    _passengerClient =
+        std::make_unique<rpc::RpcClient>(*_passengerNode, 0, thr(0));
+    _passengerClient->setConnection(_sys.connect(
+        *_passengerNode, 0, _checkin->node(), 0, nic::LbScheme::Static));
+
+    _staffNode = &_sys.addNode(fe_cfg, soft);
+    _staffClient = std::make_unique<rpc::RpcClient>(*_staffNode, 0, thr(1));
+    _staffClient->setConnection(_sys.connect(
+        *_staffNode, 0, _airport->node(), 0, nic::LbScheme::Static));
+    _staffKvs = std::make_unique<app::KvsClient>(*_staffClient);
+
+    // Optimized threading: worker pools for the long-running services.
+    if (_cfg.model == ThreadingModel::Optimized) {
+        std::vector<rpc::HwThread *> flight_workers;
+        for (unsigned w = 0; w < _cfg.flightWorkers; ++w)
+            flight_workers.push_back(&_cpus.core(12 + w).thread(0));
+        _flight->useWorkerPool(std::move(flight_workers));
+        // Check-in and Passport keep their dispatch loops free by
+        // running their request processing (the nested-call
+        // orchestration) on workers — handlers submit to these pools
+        // explicitly since the work completes asynchronously.
+        _pools.push_back(std::make_unique<rpc::WorkerPool>(
+            _sys, std::vector<rpc::HwThread *>{&_cpus.core(8).thread(0)}));
+        _pools.push_back(std::make_unique<rpc::WorkerPool>(
+            _sys, std::vector<rpc::HwThread *>{&_cpus.core(9).thread(0)}));
+    }
+}
+
+void
+FlightApp::installHandlers()
+{
+    const bool simple = _cfg.model == ThreadingModel::Simple;
+
+    // Flight: bimodal compute, the bottleneck tier (§5.7).
+    _flight->serverThread().registerHandler(
+        kProcess, [this](const proto::RpcMessage &req) {
+            rpc::HandlerOutcome out;
+            TierReq r{};
+            if (!req.payloadAs(r)) {
+                out.respond = false;
+                return out;
+            }
+            out.cost = _rng.chance(_cfg.flightCheapFraction)
+                ? _cfg.flightCheapCost
+                : _cfg.flightExpensiveCost;
+            _tracer.record("flight", out.cost);
+            TierResp resp{r.passengerId, 1};
+            out.response.resize(sizeof(resp));
+            std::memcpy(out.response.data(), &resp, sizeof(resp));
+            return out;
+        });
+
+    // Baggage: plain compute.
+    _baggage->serverThread().registerHandler(
+        kProcess, [this](const proto::RpcMessage &req) {
+            rpc::HandlerOutcome out;
+            TierReq r{};
+            if (!req.payloadAs(r)) {
+                out.respond = false;
+                return out;
+            }
+            out.cost = _cfg.baggageCost;
+            _tracer.record("baggage", out.cost);
+            TierResp resp{r.passengerId, 1};
+            out.response.resize(sizeof(resp));
+            std::memcpy(out.response.data(), &resp, sizeof(resp));
+            return out;
+        });
+
+    // Passport: nested blocking call into the Citizens cache.
+    _passport->serverThread().registerHandler(
+        kProcess, [this, simple](const proto::RpcMessage &req) {
+            rpc::HandlerOutcome out;
+            out.respond = false;
+            TierReq r{};
+            if (!req.payloadAs(r))
+                return out;
+            if (simple)
+                _passport->serverThread().pause();
+            const sim::Tick t0 = _sys.eq().now();
+            const auto conn = req.connId();
+            const auto rpc_id = req.rpcId();
+            const auto fn = req.fnId();
+            const std::uint64_t pid = r.passengerId;
+            _tracer.record("passport", _cfg.passportCost);
+            auto do_lookup = [this, simple, conn, rpc_id, fn, pid, t0] {
+                _toCitizens->get(
+                    keyFor(pid),
+                    [this, simple, conn, rpc_id, fn, pid,
+                     t0](bool hit, std::string_view) {
+                        TierResp resp{pid, hit ? 1u : 0u};
+                        _passport->serverThread().respondLater(
+                            conn, rpc_id, fn, &resp, sizeof(resp));
+                        _tracer.record("passport.wall",
+                                       _sys.eq().now() - t0);
+                        if (simple)
+                            _passport->serverThread().resume();
+                    });
+            };
+            if (simple) {
+                out.cost = _cfg.passportCost;
+                do_lookup();
+            } else {
+                // Optimized: request processing moves to the worker.
+                _pools.at(1)->submit(_cfg.passportCost,
+                                     std::move(do_lookup));
+            }
+            return out;
+        });
+
+    // Check-in: fan-out to Flight/Baggage/Passport, then register in
+    // the Airport cache, then answer the front-end.
+    _checkin->serverThread().registerHandler(
+        kProcess, [this, simple](const proto::RpcMessage &req) {
+            rpc::HandlerOutcome out;
+            out.respond = false;
+            TierReq r{};
+            if (!req.payloadAs(r))
+                return out;
+            if (simple)
+                _checkin->serverThread().pause();
+            _tracer.record("checkin", _cfg.checkinCost);
+
+            struct Fanout
+            {
+                int remaining = 3;
+                proto::ConnId conn;
+                proto::RpcId rpc;
+                proto::FnId fn;
+                std::uint64_t pid;
+                sim::Tick t0;
+            };
+            auto state = std::make_shared<Fanout>();
+            state->conn = req.connId();
+            state->rpc = req.rpcId();
+            state->fn = req.fnId();
+            state->pid = r.passengerId;
+            state->t0 = _sys.eq().now();
+
+            auto on_part = [this, simple,
+                            state](const proto::RpcMessage &) {
+                if (--state->remaining > 0)
+                    return;
+                // All three answered: blocking call to the Airport DB.
+                _toAirport->set(
+                    keyFor(state->pid), "registered",
+                    [this, simple, state](bool) {
+                        TierResp resp{state->pid, 1};
+                        _checkin->serverThread().respondLater(
+                            state->conn, state->rpc, state->fn, &resp,
+                            sizeof(resp));
+                        _tracer.record("checkin.wall",
+                                       _sys.eq().now() - state->t0);
+                        if (simple)
+                            _checkin->serverThread().resume();
+                    });
+            };
+            auto do_fanout = [this, state, on_part] {
+                TierReq fwd{state->pid};
+                _toFlight->callPod(kProcess, fwd, on_part);
+                _toBaggage->callPod(kProcess, fwd, on_part);
+                _toPassport->callPod(kProcess, fwd, on_part);
+            };
+            if (simple) {
+                out.cost = _cfg.checkinCost;
+                do_fanout();
+            } else {
+                _pools.at(0)->submit(_cfg.checkinCost,
+                                     std::move(do_fanout));
+            }
+            return out;
+        });
+}
+
+void
+FlightApp::issueRegistration()
+{
+    if (_sys.eq().now() >= _stopAt)
+        return;
+    const double mean_gap_us = 1000.0 / _krps;
+    _sys.eq().schedule(
+        sim::usToTicks(_rng.exponential(mean_gap_us)), [this] {
+            if (_sys.eq().now() >= _stopAt)
+                return;
+            const std::uint64_t pid = _nextPassenger++;
+            ++_issued;
+            const sim::Tick t0 = _sys.eq().now();
+            TierReq r{pid};
+            _passengerClient->callPod(
+                kProcess, r, [this, t0](const proto::RpcMessage &) {
+                    _e2e.record(_sys.eq().now() - t0);
+                    ++_completed;
+                });
+            issueRegistration();
+        });
+}
+
+void
+FlightApp::run(double krps, sim::Tick duration, sim::Tick drain)
+{
+    dagger_assert(krps > 0, "offered load must be positive");
+    _krps = krps;
+    _stopAt = _sys.eq().now() + duration;
+    issueRegistration();
+
+    if (_cfg.staffReadRate > 0) {
+        // Staff front-end: background async reads of Airport records.
+        struct StaffDriver
+        {
+            FlightApp *app;
+            void
+            operator()() const
+            {
+                FlightApp *a = app;
+                if (a->_sys.eq().now() >= a->_stopAt)
+                    return;
+                const double mean_gap_us = 1e6 / a->_cfg.staffReadRate;
+                a->_sys.eq().schedule(
+                    sim::usToTicks(a->_rng.exponential(mean_gap_us)),
+                    [a] {
+                        if (a->_sys.eq().now() >= a->_stopAt)
+                            return;
+                        const std::uint64_t pid =
+                            1 + a->_rng.range(
+                                    std::max<std::uint64_t>(
+                                        1, a->_nextPassenger));
+                        a->_staffKvs->get(keyFor(pid),
+                                          [a](bool, std::string_view) {
+                                              ++a->_staffReads;
+                                          });
+                        StaffDriver{a}();
+                    });
+            }
+        };
+        StaffDriver{this}();
+    }
+
+    _sys.eq().runUntil(_stopAt + drain);
+}
+
+} // namespace dagger::svc

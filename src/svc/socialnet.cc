@@ -1,0 +1,234 @@
+#include "svc/socialnet.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::svc {
+
+using baseline::Payload;
+using baseline::SoftRpcNode;
+
+const char *
+snTierName(unsigned tier)
+{
+    switch (static_cast<SnTier>(tier)) {
+      case SnTier::Media:
+        return "s1:Media";
+      case SnTier::User:
+        return "s2:User";
+      case SnTier::UniqueId:
+        return "s3:UniqueID";
+      case SnTier::Text:
+        return "s4:Text";
+      case SnTier::UserMention:
+        return "s5:UserMention";
+      case SnTier::UrlShorten:
+        return "s6:UrlShorten";
+    }
+    return "?";
+}
+
+SocialNet::SocialNet(SocialNetConfig cfg) : _cfg(cfg), _rng(cfg.seed)
+{
+    build();
+}
+
+void
+SocialNet::build()
+{
+    // Cores 0..5: one app core per tier; core 6: front-end.
+    // Isolated mode: softirq processing on dedicated cores 7..10.
+    // Colocated mode (Fig. 5 shaded): softirqs run on the SMT siblings
+    // of the tier cores, i.e., on the same physical cores as the app.
+    _cpus = std::make_unique<rpc::CpuSet>(_eq, 11);
+
+    auto tier_cost = [&](unsigned t) -> sim::Tick {
+        switch (static_cast<SnTier>(t)) {
+          case SnTier::Media:
+            return _cfg.mediaCost;
+          case SnTier::User:
+            return _cfg.userCost;
+          case SnTier::UniqueId:
+            return _cfg.uniqueIdCost;
+          case SnTier::Text:
+            return _cfg.textCost;
+          case SnTier::UserMention:
+            return _cfg.userMentionCost;
+          case SnTier::UrlShorten:
+            return _cfg.urlShortenCost;
+        }
+        return 0;
+    };
+
+    for (unsigned t = 0; t < kSnTiers; ++t) {
+        rpc::HwThread &app = _cpus->core(t).thread(0);
+        // Fig. 5 setup: interrupt service routines are bound either to
+        // the *same logical cores* as the application (shaded bars) or
+        // to dedicated network cores (solid bars).
+        rpc::HwThread *net = _cfg.colocatedNetworking
+            ? &app                               // softirqs preempt app
+            : &_cpus->core(7 + t % 4).thread(0); // dedicated net cores
+        _tiers[t] =
+            std::make_unique<SoftRpcNode>(_eq, _cfg.stack, app, net);
+        _tiers[t]->setColocationSlowdown(_cfg.colocationSlowdown);
+        _reqSize[t] = sim::Histogram(snTierName(t));
+        _respSize[t] = sim::Histogram(snTierName(t));
+    }
+    rpc::HwThread &fe_app = _cpus->core(6).thread(0);
+    _frontend = std::make_unique<SoftRpcNode>(
+        _eq, _cfg.stack, fe_app,
+        _cfg.colocatedNetworking ? &fe_app : &_cpus->core(7).thread(1));
+    _frontend->setColocationSlowdown(_cfg.colocationSlowdown);
+
+    // Leaf tiers: compute then respond.
+    auto leaf_handler = [this, tier_cost](unsigned t) {
+        return [this, t, tier_cost](const Payload &,
+                                    SoftRpcNode::Responder respond) {
+            Payload resp(sampleRespSize(t));
+            _respSize[t].record(resp.size());
+            _allResp.record(resp.size());
+            respond(std::move(resp), tier_cost(t));
+        };
+    };
+    for (unsigned t : {0u, 1u, 2u, 4u, 5u})
+        _tiers[t]->setHandler(leaf_handler(t));
+
+    // Text (s4) fans out to UserMention (s5) and UrlShorten (s6)
+    // before responding, like the compose-post path in Fig. 1.
+    _tiers[3]->setHandler([this, tier_cost](const Payload &,
+                                            SoftRpcNode::Responder respond) {
+        auto remaining = std::make_shared<int>(2);
+        auto resp_holder =
+            std::make_shared<SoftRpcNode::Responder>(std::move(respond));
+        auto on_done = [this, remaining, resp_holder,
+                        tier_cost](const Payload &, sim::Tick) {
+            if (--*remaining > 0)
+                return;
+            Payload resp(sampleRespSize(3));
+            _respSize[3].record(resp.size());
+            _allResp.record(resp.size());
+            (*resp_holder)(std::move(resp), tier_cost(3));
+        };
+        callTier(*_tiers[3], 4, sampleReqSize(4),
+                 [on_done](const Payload &p) { on_done(p, 0); });
+        callTier(*_tiers[3], 5, sampleReqSize(5),
+                 [on_done](const Payload &p) { on_done(p, 0); });
+    });
+
+    // The front-end itself never serves RPCs in this model.
+    _frontend->setHandler([](const Payload &, SoftRpcNode::Responder r) {
+        r({}, 0);
+    });
+}
+
+std::size_t
+SocialNet::sampleReqSize(unsigned tier)
+{
+    // Fig. 4 (right): Text's median RPC is 580 B; Media, User and
+    // UniqueID never exceed 64 B; UserMention and UrlShorten sit in
+    // between.
+    switch (static_cast<SnTier>(tier)) {
+      case SnTier::Text:
+        return 64 + static_cast<std::size_t>(
+                        std::min(_rng.exponential(745.0), 4000.0));
+      case SnTier::UserMention:
+        return 96 + static_cast<std::size_t>(
+                        std::min(_rng.exponential(160.0), 1200.0));
+      case SnTier::UrlShorten:
+        return 80 + static_cast<std::size_t>(
+                        std::min(_rng.exponential(130.0), 1200.0));
+      case SnTier::Media:
+      case SnTier::User:
+      case SnTier::UniqueId:
+        return 16 + _rng.range(49); // 16..64 B
+    }
+    return 64;
+}
+
+std::size_t
+SocialNet::sampleRespSize(unsigned tier)
+{
+    // Fig. 4 (left): >90% of responses are <= 64 B.
+    if (_rng.chance(0.92))
+        return 8 + _rng.range(57);
+    (void)tier;
+    return 64 + _rng.range(448);
+}
+
+void
+SocialNet::callTier(SoftRpcNode &from, unsigned tier, std::size_t req_bytes,
+                    std::function<void(const Payload &)> cb)
+{
+    _reqSize[tier].record(req_bytes);
+    _allReq.record(req_bytes);
+    from.call(*_tiers[tier], Payload(req_bytes),
+              [cb = std::move(cb)](const Payload &resp, sim::Tick) {
+                  cb(resp);
+              });
+}
+
+void
+SocialNet::composePost(sim::Tick t0)
+{
+    // Fan-out from the front-end: UniqueID, Media, User, Text (which
+    // nests UserMention + UrlShorten).
+    auto remaining = std::make_shared<int>(4);
+    auto done = [this, remaining, t0](const Payload &) {
+        if (--*remaining > 0)
+            return;
+        _e2e.record(_eq.now() - t0);
+        ++_completed;
+    };
+    callTier(*_frontend, 2, sampleReqSize(2), done); // UniqueID
+    callTier(*_frontend, 0, sampleReqSize(0), done); // Media
+    callTier(*_frontend, 1, sampleReqSize(1), done); // User
+    callTier(*_frontend, 3, sampleReqSize(3), done); // Text (nests)
+}
+
+void
+SocialNet::readTimeline(sim::Tick t0)
+{
+    // Read paths touch the User tier (then storage, modeled in-cost).
+    callTier(*_frontend, 1, sampleReqSize(1), [this, t0](const Payload &) {
+        _e2e.record(_eq.now() - t0);
+        ++_completed;
+    });
+}
+
+void
+SocialNet::issueRequest()
+{
+    if (_eq.now() >= _stopAt)
+        return;
+    const double mean_gap_us = 1e6 / _qps;
+    _eq.schedule(sim::usToTicks(_rng.exponential(mean_gap_us)), [this] {
+        if (_eq.now() >= _stopAt)
+            return;
+        ++_issued;
+        const sim::Tick t0 = _eq.now();
+        const double mix = _rng.uniform();
+        if (mix < _cfg.composeFraction)
+            composePost(t0);
+        else
+            readTimeline(t0);
+        issueRequest();
+    });
+}
+
+void
+SocialNet::run(double qps, sim::Tick duration, sim::Tick drain)
+{
+    dagger_assert(qps > 0, "offered load must be positive");
+    _qps = qps;
+    _stopAt = _eq.now() + duration;
+    issueRequest();
+    _eq.runUntil(_stopAt + drain);
+}
+
+const baseline::ServeBreakdown &
+SocialNet::tierBreakdown(unsigned tier) const
+{
+    dagger_assert(tier < kSnTiers, "bad tier ", tier);
+    return _tiers[tier]->served();
+}
+
+} // namespace dagger::svc

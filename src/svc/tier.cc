@@ -1,0 +1,39 @@
+#include "svc/tier.hh"
+
+#include "sim/logging.hh"
+
+namespace dagger::svc {
+
+Tier::Tier(rpc::DaggerSystem &sys, std::string name,
+           rpc::HwThread &dispatch, unsigned downstreams,
+           nic::NicConfig cfg, nic::SoftConfig soft)
+    : _sys(sys), _name(std::move(name)), _dispatch(dispatch)
+{
+    cfg.numFlows = 1 + downstreams;
+    _node = &sys.addNode(cfg, soft);
+    _server = std::make_unique<rpc::RpcThreadedServer>(*_node);
+    _server->addThread(0, dispatch);
+}
+
+rpc::RpcClient &
+Tier::connectTo(Tier &server_tier, nic::LbScheme lb)
+{
+    dagger_assert(_nextClientFlow < _node->numFlows(),
+                  "tier '", _name, "' has no free client flows");
+    const unsigned flow = _nextClientFlow++;
+    auto client = std::make_unique<rpc::RpcClient>(*_node, flow, _dispatch);
+    const proto::ConnId conn =
+        _sys.connect(*_node, flow, server_tier.node(), 0, lb);
+    client->setConnection(conn);
+    _clients.push_back(std::move(client));
+    return *_clients.back();
+}
+
+void
+Tier::useWorkerPool(std::vector<rpc::HwThread *> workers)
+{
+    _pool = std::make_unique<rpc::WorkerPool>(_sys, std::move(workers));
+    _server->setWorkerPool(_pool.get());
+}
+
+} // namespace dagger::svc

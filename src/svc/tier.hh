@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Microservice-tier framework over the Dagger fabric (§5.7).
+ *
+ * A Tier is one microservice process: its own NIC instance (the
+ * virtualized-NIC deployment of Fig. 14), one server flow with a
+ * dispatch thread, and one client flow per downstream dependency.
+ * Tiers support chain and fan-out call patterns with both threading
+ * models:
+ *
+ *  - Simple: handlers run (and block) in the dispatch thread;
+ *  - Optimized: handler compute runs on a WorkerPool and nested calls
+ *    never block the dispatch loop.
+ */
+
+#ifndef DAGGER_SVC_TIER_HH
+#define DAGGER_SVC_TIER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/client.hh"
+#include "rpc/server.hh"
+#include "rpc/system.hh"
+#include "svc/trace.hh"
+
+namespace dagger::svc {
+
+/** Threading models of §5.7 / Table 4. */
+enum class ThreadingModel {
+    Simple,    ///< handlers in dispatch threads, nested calls block
+    Optimized, ///< worker threads, non-blocking dispatch
+};
+
+/** One microservice tier. */
+class Tier
+{
+  public:
+    /**
+     * @param sys        the deployment
+     * @param name       tier name (for traces)
+     * @param dispatch   hardware thread of the dispatch loop
+     * @param downstreams number of downstream client flows to provision
+     * @param cfg        per-tier NIC hard config template (flows are
+     *                   sized automatically: 1 server + downstreams)
+     */
+    Tier(rpc::DaggerSystem &sys, std::string name, rpc::HwThread &dispatch,
+         unsigned downstreams, nic::NicConfig cfg = {},
+         nic::SoftConfig soft = {});
+
+    /** Connect the next free client flow to @p server_tier. */
+    rpc::RpcClient &connectTo(Tier &server_tier,
+                              nic::LbScheme lb = nic::LbScheme::RoundRobin);
+
+    /** Apply the Optimized threading model with the given workers. */
+    void useWorkerPool(std::vector<rpc::HwThread *> workers);
+
+    rpc::RpcThreadedServer &server() { return *_server; }
+    rpc::RpcServerThread &serverThread() { return _server->serverThread(0); }
+    rpc::DaggerNode &node() { return *_node; }
+    rpc::HwThread &dispatchThread() { return _dispatch; }
+    const std::string &name() const { return _name; }
+    rpc::WorkerPool *workerPool() { return _pool.get(); }
+    Tracer &tracer() { return _tracer; }
+
+  private:
+    rpc::DaggerSystem &_sys;
+    std::string _name;
+    rpc::HwThread &_dispatch;
+    rpc::DaggerNode *_node;
+    std::unique_ptr<rpc::RpcThreadedServer> _server;
+    std::vector<std::unique_ptr<rpc::RpcClient>> _clients;
+    std::unique_ptr<rpc::WorkerPool> _pool;
+    unsigned _nextClientFlow = 1;
+    Tracer _tracer;
+};
+
+} // namespace dagger::svc
+
+#endif // DAGGER_SVC_TIER_HH

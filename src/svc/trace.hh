@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight request tracing (§5.7: "In order to profile the
+ * application, we design a lightweight request tracing system and
+ * integrate it with Dagger. Our analysis reveals that the system is
+ * bottlenecked by the resource-demanding and long-running Flight
+ * service.").
+ *
+ * Tiers record one span per request (service time at the tier); the
+ * tracer aggregates per-tier histograms so the bottleneck falls out
+ * of a report, exactly how the paper found the Flight service.
+ */
+
+#ifndef DAGGER_SVC_TRACE_HH
+#define DAGGER_SVC_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace dagger::svc {
+
+/** Aggregating tracer: one histogram per (tier, span-kind). */
+class Tracer
+{
+  public:
+    /** Record a completed span of @p duration ticks. */
+    void
+    record(const std::string &span, sim::Tick duration)
+    {
+        _spans[span].record(duration);
+    }
+
+    /** Histogram of a span (creates it empty if absent). */
+    sim::Histogram &span(const std::string &name) { return _spans[name]; }
+
+    /**
+     * Name of the service span with the largest mean duration — the
+     * bottleneck tier.  Spans with a '.' in the name (auxiliary
+     * wall-clock spans like "checkin.wall", which include downstream
+     * wait) are excluded; only per-tier service time competes.
+     */
+    std::string
+    bottleneck() const
+    {
+        std::string best;
+        double best_mean = -1.0;
+        for (const auto &[name, hist] : _spans) {
+            if (name.find('.') != std::string::npos)
+                continue;
+            if (hist.mean() > best_mean) {
+                best_mean = hist.mean();
+                best = name;
+            }
+        }
+        return best;
+    }
+
+    const std::map<std::string, sim::Histogram> &all() const
+    {
+        return _spans;
+    }
+
+  private:
+    std::map<std::string, sim::Histogram> _spans;
+};
+
+} // namespace dagger::svc
+
+#endif // DAGGER_SVC_TRACE_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * KVS-over-Dagger integration tests (§5.6): MICA and memcached served
+ * through the full fabric, object-level steering correctness, data
+ * integrity through the wire format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/adapters.hh"
+#include "app/kvs_service.hh"
+#include "app/workload.hh"
+#include "rpc/client.hh"
+#include "rpc/server.hh"
+#include "rpc/system.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::app;
+using namespace dagger::rpc;
+using sim::usToTicks;
+
+struct KvsRig
+{
+    explicit KvsRig(KvBackend &backend, unsigned server_flows = 1,
+                    nic::LbScheme lb = nic::LbScheme::ObjectLevel)
+        : sys(ic::IfaceKind::Upi), cpus(sys.eq(), 2 + server_flows)
+    {
+        nic::NicConfig ccfg;
+        ccfg.numFlows = 1;
+        nic::NicConfig scfg;
+        scfg.numFlows = server_flows;
+        nic::SoftConfig soft;
+        soft.autoBatch = true;
+
+        clientNode = &sys.addNode(ccfg, soft);
+        serverNode = &sys.addNode(scfg, soft);
+        serverNode->nicDev().setObjectLevelKey(0, 8);
+
+        client = std::make_unique<RpcClient>(*clientNode, 0,
+                                             cpus.core(0).thread(0));
+        client->setConnection(
+            sys.connect(*clientNode, 0, *serverNode, 0, lb));
+        kvs = std::make_unique<KvsClient>(*client);
+
+        server = std::make_unique<RpcThreadedServer>(*serverNode);
+        for (unsigned f = 0; f < server_flows; ++f)
+            server->addThread(f, cpus.core(1 + f).thread(0));
+        app = std::make_unique<KvsServer>(*server, backend);
+    }
+
+    DaggerSystem sys;
+    CpuSet cpus;
+    DaggerNode *clientNode;
+    DaggerNode *serverNode;
+    std::unique_ptr<RpcClient> client;
+    std::unique_ptr<KvsClient> kvs;
+    std::unique_ptr<RpcThreadedServer> server;
+    std::unique_ptr<KvsServer> app;
+};
+
+TEST(KvsOverDagger, MicaSetThenGet)
+{
+    MicaKvs store(1, 1 << 20, 1 << 10);
+    MicaBackend backend(store);
+    KvsRig rig(backend);
+
+    bool stored = false;
+    std::string got;
+    rig.kvs->set("key00001", "hello", [&](bool ok) { stored = ok; });
+    rig.sys.eq().runFor(usToTicks(50));
+    ASSERT_TRUE(stored);
+
+    rig.kvs->get("key00001", [&](bool hit, std::string_view v) {
+        ASSERT_TRUE(hit);
+        got.assign(v);
+    });
+    rig.sys.eq().runFor(usToTicks(50));
+    EXPECT_EQ(got, "hello");
+}
+
+TEST(KvsOverDagger, GetMissReportsMiss)
+{
+    MicaKvs store(1, 1 << 20, 1 << 10);
+    MicaBackend backend(store);
+    KvsRig rig(backend);
+    bool called = false, hit = true;
+    rig.kvs->get("missing1", [&](bool h, std::string_view) {
+        called = true;
+        hit = h;
+    });
+    rig.sys.eq().runFor(usToTicks(50));
+    ASSERT_TRUE(called);
+    EXPECT_FALSE(hit);
+}
+
+TEST(KvsOverDagger, ObjectLevelLbPreservesErewOnMica)
+{
+    MicaKvs store(4, 1 << 20, 1 << 10);
+    MicaBackend backend(store);
+    KvsRig rig(backend, 4, nic::LbScheme::ObjectLevel);
+
+    KvWorkload wl(200, 0.6, 0.0, kTiny); // all SETs
+    int done = 0;
+    for (int i = 0; i < 100; ++i) {
+        KvOp op = wl.next();
+        rig.sys.eq().scheduleAt(usToTicks(i), [&rig, &done, op] {
+            rig.kvs->set(op.key, op.value, [&done](bool) { ++done; });
+        });
+    }
+    rig.sys.eq().runFor(usToTicks(400));
+    EXPECT_EQ(done, 100);
+    // Hardware steering matched store partitioning: no EREW violations.
+    EXPECT_EQ(store.totalStats().crossPartition, 0u);
+}
+
+TEST(KvsOverDagger, RoundRobinLbViolatesErewOnMica)
+{
+    MicaKvs store(4, 1 << 20, 1 << 10);
+    MicaBackend backend(store);
+    KvsRig rig(backend, 4, nic::LbScheme::RoundRobin);
+
+    KvWorkload wl(200, 0.6, 0.0, kTiny);
+    int done = 0;
+    for (int i = 0; i < 100; ++i) {
+        KvOp op = wl.next();
+        rig.sys.eq().scheduleAt(usToTicks(i), [&rig, &done, op] {
+            rig.kvs->set(op.key, op.value, [&done](bool) { ++done; });
+        });
+    }
+    rig.sys.eq().runFor(usToTicks(400));
+    EXPECT_EQ(done, 100);
+    // Round-robin ignores key affinity: most accesses land wrong.
+    EXPECT_GT(store.totalStats().crossPartition, 50u);
+}
+
+TEST(KvsOverDagger, MemcachedBackendIntegrity)
+{
+    Memcached store(1 << 22);
+    // The backend needs the rig's event queue: build the rig with a
+    // placeholder backend, then re-attach a memcached-backed KvsServer
+    // (handler re-registration overwrites the placeholder's).
+    MicaKvs dummy(1, 1 << 20, 1 << 10);
+    MicaBackend dummy_backend(dummy);
+    KvsRig rig(dummy_backend);
+    KvsRig *rig_ptr = &rig;
+    MemcachedBackend backend(store, rig.sys.eq());
+    KvsServer mc_app(*rig.server, backend);
+
+    KvWorkload wl(500, 0.8, 0.0, kSmall);
+    std::vector<KvOp> ops;
+    int stored = 0;
+    for (int i = 0; i < 50; ++i) {
+        ops.push_back(wl.next());
+        const KvOp &op = ops.back();
+        rig_ptr->sys.eq().scheduleAt(usToTicks(i * 4), [&, op] {
+            rig_ptr->kvs->set(op.key, op.value,
+                              [&stored](bool) { ++stored; });
+        });
+    }
+    rig.sys.eq().runFor(usToTicks(400));
+    EXPECT_EQ(stored, 50);
+
+    int verified = 0;
+    for (const KvOp &op : ops) {
+        rig.kvs->get(op.key, [&, op](bool hit, std::string_view v) {
+            ASSERT_TRUE(hit) << op.key;
+            EXPECT_EQ(std::string(v), wl.valueFor(op.key));
+            ++verified;
+        });
+        rig.sys.eq().runFor(usToTicks(30));
+    }
+    EXPECT_EQ(verified, 50);
+}
+
+TEST(KvsOverDagger, MicaFasterThanMemcachedPerOp)
+{
+    MicaCost mica;
+    MemcachedCost mc;
+    EXPECT_LT(mica.hotGetCost, mc.getCost);
+    EXPECT_LT(mica.hotSetCost, mc.setCost);
+    // Shape anchor: memcached is several times slower per op (§5.6).
+    EXPECT_GT(static_cast<double>(mc.getCost) / mica.hotGetCost, 2.5);
+}
+
+} // namespace

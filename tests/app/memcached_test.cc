@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Mini-memcached tests: LRU eviction, expiry, slab accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/memcached.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using namespace dagger::app;
+using dagger::sim::usToTicks;
+
+TEST(Memcached, SetGetRoundTrip)
+{
+    Memcached mc(1 << 20);
+    mc.set("key", "value");
+    auto got = mc.get("key");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "value");
+    EXPECT_EQ(mc.stats().getHits, 1u);
+}
+
+TEST(Memcached, MissOnAbsent)
+{
+    Memcached mc(1 << 20);
+    EXPECT_FALSE(mc.get("nope").has_value());
+    EXPECT_EQ(mc.stats().cmdGet, 1u);
+    EXPECT_EQ(mc.stats().getHits, 0u);
+}
+
+TEST(Memcached, OverwriteReplaces)
+{
+    Memcached mc(1 << 20);
+    mc.set("k", "v1");
+    mc.set("k", "v2");
+    EXPECT_EQ(*mc.get("k"), "v2");
+    EXPECT_EQ(mc.stats().currItems, 1u);
+}
+
+TEST(Memcached, EraseRemoves)
+{
+    Memcached mc(1 << 20);
+    mc.set("k", "v");
+    EXPECT_TRUE(mc.erase("k"));
+    EXPECT_FALSE(mc.erase("k"));
+    EXPECT_EQ(mc.stats().currItems, 0u);
+}
+
+TEST(Memcached, LruEvictionUnderMemoryPressure)
+{
+    // ~100 chunks of the smallest class.
+    Memcached mc(100 * Memcached::slabChunkSize(0));
+    for (int i = 0; i < 200; ++i) {
+        char key[12];
+        std::snprintf(key, sizeof(key), "key%05d", i);
+        mc.set(key, "v");
+    }
+    EXPECT_GT(mc.stats().evictions, 0u);
+    // Oldest keys evicted, newest retained.
+    EXPECT_FALSE(mc.get("key00000").has_value());
+    EXPECT_TRUE(mc.get("key00199").has_value());
+}
+
+TEST(Memcached, GetRefreshesLruPosition)
+{
+    Memcached mc(3 * Memcached::slabChunkSize(0));
+    mc.set("a", "1");
+    mc.set("b", "2");
+    mc.set("c", "3");
+    mc.get("a"); // touch a -> victim should be b
+    mc.set("d", "4");
+    EXPECT_TRUE(mc.get("a").has_value());
+    EXPECT_FALSE(mc.get("b").has_value());
+}
+
+TEST(Memcached, TtlExpiry)
+{
+    Memcached mc(1 << 20);
+    mc.set("k", "v", /*now=*/usToTicks(0), /*ttl=*/usToTicks(10));
+    EXPECT_TRUE(mc.get("k", usToTicks(5)).has_value());
+    EXPECT_FALSE(mc.get("k", usToTicks(11)).has_value());
+    EXPECT_EQ(mc.stats().expired, 1u);
+}
+
+TEST(Memcached, SlabClassesGrowGeometrically)
+{
+    EXPECT_EQ(Memcached::slabClassOf(1), 0u);
+    const std::size_t c0 = Memcached::slabChunkSize(0);
+    const std::size_t c1 = Memcached::slabChunkSize(1);
+    const std::size_t c5 = Memcached::slabChunkSize(5);
+    EXPECT_GT(c1, c0);
+    EXPECT_GT(c5, c1);
+    EXPECT_NEAR(static_cast<double>(c1) / c0, 1.25, 0.05);
+    // Larger items land in larger classes.
+    EXPECT_GT(Memcached::slabClassOf(1000), Memcached::slabClassOf(10));
+}
+
+TEST(Memcached, OversizedItemRejectedNotFatal)
+{
+    Memcached mc(4096);
+    std::string huge(8192, 'x');
+    mc.set("big", huge);
+    EXPECT_FALSE(mc.get("big").has_value());
+}
+
+TEST(Memcached, BytesTrackUsage)
+{
+    Memcached mc(1 << 20);
+    mc.set("k", "v");
+    EXPECT_EQ(mc.stats().bytes, Memcached::slabChunkSize(0));
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Baseline-stack tests: parameter sanity against the published Table 3
+ * anchors, echo RTT/throughput behaviour, breakdown accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/soft_rpc_node.hh"
+#include "baseline/soft_stack.hh"
+#include "rpc/cpu.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::baseline;
+using sim::EventQueue;
+using sim::Tick;
+using sim::usToTicks;
+
+TEST(SoftStackParams, Table3ThroughputAnchors)
+{
+    // Single-core Mrps implied by CPU costs vs Table 3.
+    EXPECT_NEAR(paramsFor(SoftStack::DpdkIx).coreMrps(), 1.5, 0.15);
+    EXPECT_NEAR(paramsFor(SoftStack::RdmaFasst).coreMrps(), 4.8, 0.5);
+    EXPECT_NEAR(paramsFor(SoftStack::Erpc).coreMrps(), 4.96, 0.5);
+    // Kernel TCP is far slower than any bypass stack.
+    EXPECT_LT(paramsFor(SoftStack::LinuxTcp).coreMrps(), 0.5);
+}
+
+TEST(SoftStackParams, NamesStable)
+{
+    EXPECT_STREQ(stackName(SoftStack::DpdkIx), "IX");
+    EXPECT_STREQ(stackName(SoftStack::Erpc), "eRPC");
+    EXPECT_STREQ(stackName(SoftStack::RdmaFasst), "FaSST");
+    EXPECT_STREQ(stackName(SoftStack::NetDimm), "NetDIMM");
+}
+
+struct EchoRig
+{
+    explicit EchoRig(SoftStack stack)
+        : cpus(eq, 2),
+          client(eq, paramsFor(stack), cpus.core(0).thread(0)),
+          server(eq, paramsFor(stack), cpus.core(1).thread(0))
+    {
+        server.setHandler(
+            [](const Payload &req, SoftRpcNode::Responder respond) {
+                respond(Payload(req), sim::nsToTicks(50));
+            });
+    }
+
+    EventQueue eq;
+    rpc::CpuSet cpus;
+    SoftRpcNode client;
+    SoftRpcNode server;
+};
+
+Tick
+medianEchoRtt(SoftStack stack)
+{
+    EchoRig rig(stack);
+    sim::Histogram rtt;
+    for (int i = 0; i < 32; ++i) {
+        rig.eq.scheduleAt(usToTicks(i * 40), [&] {
+            rig.client.call(rig.server, Payload(64),
+                            [&](const Payload &, Tick t) {
+                                rtt.record(t);
+                            });
+        });
+    }
+    rig.eq.runUntil(usToTicks(3000));
+    EXPECT_EQ(rtt.count(), 32u);
+    return rtt.percentile(50);
+}
+
+TEST(SoftRpcNode, RttAnchorsMatchTable3Shape)
+{
+    const Tick ix = medianEchoRtt(SoftStack::DpdkIx);
+    const Tick fasst = medianEchoRtt(SoftStack::RdmaFasst);
+    const Tick erpc = medianEchoRtt(SoftStack::Erpc);
+    // Table 3: IX 11.4us >> FaSST 2.8us > eRPC 2.3us.
+    EXPECT_NEAR(sim::ticksToUs(ix), 11.4, 2.5);
+    EXPECT_NEAR(sim::ticksToUs(fasst), 2.8, 0.8);
+    EXPECT_NEAR(sim::ticksToUs(erpc), 2.3, 0.7);
+    EXPECT_GT(ix, fasst);
+    EXPECT_GT(fasst, erpc);
+}
+
+TEST(SoftRpcNode, EchoPreservesPayload)
+{
+    EchoRig rig(SoftStack::Erpc);
+    Payload sent{1, 2, 3, 4, 5};
+    Payload got;
+    rig.client.call(rig.server, sent,
+                    [&](const Payload &resp, Tick) { got = resp; });
+    rig.eq.runUntil(usToTicks(100));
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(rig.server.handled(), 1u);
+}
+
+TEST(SoftRpcNode, ServedBreakdownAddsUp)
+{
+    EchoRig rig(SoftStack::LinuxTcp);
+    rig.client.call(rig.server, Payload(64), [](const Payload &, Tick) {});
+    rig.eq.runUntil(usToTicks(500));
+    const auto &b = rig.server.served();
+    ASSERT_EQ(b.total.count(), 1u);
+    const double sum = b.transport.mean() + b.rpc.mean() + b.app.mean();
+    EXPECT_NEAR(sum, b.total.mean(), b.total.mean() * 0.05);
+    // Transport time reflects the configured TCP receive cost.
+    EXPECT_NEAR(b.transport.mean(),
+                static_cast<double>(
+                    paramsFor(SoftStack::LinuxTcp).transportRecvCpu),
+                static_cast<double>(
+                    paramsFor(SoftStack::LinuxTcp).transportRecvCpu) *
+                    0.2);
+}
+
+TEST(SoftRpcNode, DeferredRespondersSupportNestedCalls)
+{
+    EventQueue eq;
+    rpc::CpuSet cpus(eq, 3);
+    auto params = paramsFor(SoftStack::Erpc);
+    SoftRpcNode frontend(eq, params, cpus.core(0).thread(0));
+    SoftRpcNode mid(eq, params, cpus.core(1).thread(0));
+    SoftRpcNode leaf(eq, params, cpus.core(2).thread(0));
+
+    leaf.setHandler([](const Payload &, SoftRpcNode::Responder r) {
+        r(Payload{9}, sim::nsToTicks(100));
+    });
+    mid.setHandler([&](const Payload &, SoftRpcNode::Responder r) {
+        auto rh = std::make_shared<SoftRpcNode::Responder>(std::move(r));
+        mid.call(leaf, Payload(8), [rh](const Payload &resp, Tick) {
+            (*rh)(Payload(resp), sim::nsToTicks(50));
+        });
+    });
+
+    Payload got;
+    frontend.call(mid, Payload(8),
+                  [&](const Payload &resp, Tick) { got = resp; });
+    eq.runUntil(usToTicks(200));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 9);
+}
+
+TEST(SoftRpcNode, QueueingInflatesRpcComponentUnderLoad)
+{
+    // Saturate the server's app thread: RPC-layer wait (queueing for
+    // the app thread) should dominate, as §3.1 observes.
+    EchoRig rig(SoftStack::LinuxTcp);
+    for (int i = 0; i < 200; ++i) {
+        rig.eq.scheduleAt(usToTicks(i * 2), [&] {
+            rig.client.call(rig.server, Payload(64),
+                            [](const Payload &, Tick) {});
+        });
+    }
+    rig.eq.runUntil(usToTicks(30000));
+    const auto &b = rig.server.served();
+    EXPECT_GT(b.rpc.percentile(99), b.transport.percentile(99));
+    EXPECT_GT(b.rpc.percentile(99), 2 * b.rpc.percentile(5));
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * IDL enum tests: parsing, wire width, codegen, semantic checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "idl/codegen.hh"
+#include "idl/parser.hh"
+
+namespace {
+
+using namespace dagger::idl;
+
+const char *kEnumIdl = R"(
+Enum Status {
+    OK = 0;
+    NOT_FOUND = 1;
+    THROTTLED = 7;
+}
+
+Message Reply {
+    Status status;
+    int32 detail;
+}
+
+Service Svc {
+    rpc poke(Reply) returns(Reply);
+}
+)";
+
+TEST(IdlEnum, ParsesEnumDefinition)
+{
+    IdlFile f = parse(kEnumIdl);
+    ASSERT_EQ(f.enums.size(), 1u);
+    const EnumDef *e = f.findEnum("Status");
+    ASSERT_NE(e, nullptr);
+    ASSERT_EQ(e->values.size(), 3u);
+    EXPECT_EQ(e->values[0].name, "OK");
+    EXPECT_EQ(e->values[2].value, 7);
+}
+
+TEST(IdlEnum, EnumFieldIsFourWireBytes)
+{
+    IdlFile f = parse(kEnumIdl);
+    const MessageDef *m = f.findMessage("Reply");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->fields[0].kind, FieldKind::Enum);
+    EXPECT_EQ(m->fields[0].enumName, "Status");
+    EXPECT_EQ(m->byteSize(), 8u); // int32 enum + int32
+}
+
+TEST(IdlEnum, CodegenEmitsEnumClassAndTypedField)
+{
+    IdlFile f = parse(kEnumIdl);
+    const std::string hdr = generateHeader(f, {});
+    EXPECT_NE(hdr.find("enum class Status : std::int32_t"),
+              std::string::npos);
+    EXPECT_NE(hdr.find("THROTTLED = 7,"), std::string::npos);
+    EXPECT_NE(hdr.find("Status status{};"), std::string::npos);
+    EXPECT_NE(hdr.find("static_assert(sizeof(Reply) == 8"),
+              std::string::npos);
+}
+
+TEST(IdlEnum, LowercaseKeywordAccepted)
+{
+    IdlFile f = parse("enum E { A = 1; } Message M { E e; }");
+    EXPECT_EQ(f.enums.size(), 1u);
+}
+
+TEST(IdlEnum, EmptyEnumRejected)
+{
+    EXPECT_THROW(parse("Enum E { }"), IdlError);
+}
+
+TEST(IdlEnum, DuplicateEnumeratorRejected)
+{
+    EXPECT_THROW(parse("Enum E { A = 1; A = 2; }"), IdlError);
+}
+
+TEST(IdlEnum, DuplicateEnumNameRejected)
+{
+    EXPECT_THROW(parse("Enum E { A = 1; } Enum E { B = 2; }"), IdlError);
+}
+
+TEST(IdlEnum, EnumeratorNeedsExplicitValue)
+{
+    EXPECT_THROW(parse("Enum E { A; }"), IdlError);
+}
+
+TEST(IdlEnum, EnumMustBeDeclaredBeforeUse)
+{
+    // An unknown type name is still an unknown type, not an enum.
+    EXPECT_THROW(parse("Message M { Mystery x; }"), IdlError);
+}
+
+} // namespace

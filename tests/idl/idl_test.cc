@@ -1,0 +1,205 @@
+/**
+ * @file
+ * IDL compiler tests: lexing, parsing, semantic checks, and the shape
+ * of the generated C++.
+ */
+
+#include <gtest/gtest.h>
+
+#include "idl/codegen.hh"
+#include "idl/parser.hh"
+
+namespace {
+
+using namespace dagger::idl;
+
+const char *kKvsIdl = R"(
+// The paper's Listing 1.
+Message GetRequest {
+    int32 timestamp;
+    char[32] key;
+}
+Message GetResponse {
+    int32 timestamp;
+    char[32] value;
+}
+Message SetRequest {
+    int32 timestamp;
+    char[32] key;
+    char[32] value;
+}
+Message SetResponse {
+    int32 timestamp;
+    bool ok;
+}
+
+Service KeyValueStore {
+    rpc get(GetRequest) returns(GetResponse);
+    rpc set(SetRequest) returns(SetResponse);
+}
+)";
+
+TEST(Lexer, TokenizesPunctuationAndIdents)
+{
+    auto toks = lex("Message Foo { int32 x; }");
+    ASSERT_EQ(toks.size(), 8u); // incl. End
+    EXPECT_EQ(toks[0].kind, TokKind::Ident);
+    EXPECT_EQ(toks[0].text, "Message");
+    EXPECT_EQ(toks[2].kind, TokKind::LBrace);
+    EXPECT_EQ(toks[5].kind, TokKind::Semicolon);
+    EXPECT_EQ(toks.back().kind, TokKind::End);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = lex("a\nb\n  c");
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[1].line, 2u);
+    EXPECT_EQ(toks[2].line, 3u);
+    EXPECT_EQ(toks[2].col, 3u);
+}
+
+TEST(Lexer, SkipsComments)
+{
+    auto toks = lex("// full line\nint32 // trailing\n# hash comment\nx");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "int32");
+    EXPECT_EQ(toks[1].text, "x");
+}
+
+TEST(Lexer, NumbersParse)
+{
+    auto toks = lex("char[128]");
+    EXPECT_EQ(toks[2].kind, TokKind::Number);
+    EXPECT_EQ(toks[2].number, 128u);
+}
+
+TEST(Lexer, RejectsIllegalCharacter)
+{
+    EXPECT_THROW(lex("int32 $x;"), IdlError);
+}
+
+TEST(Parser, ParsesListingOne)
+{
+    IdlFile file = parse(kKvsIdl);
+    ASSERT_EQ(file.messages.size(), 4u);
+    ASSERT_EQ(file.services.size(), 1u);
+
+    const MessageDef *get_req = file.findMessage("GetRequest");
+    ASSERT_NE(get_req, nullptr);
+    ASSERT_EQ(get_req->fields.size(), 2u);
+    EXPECT_EQ(get_req->fields[0].kind, FieldKind::Int32);
+    EXPECT_EQ(get_req->fields[1].kind, FieldKind::CharArray);
+    EXPECT_EQ(get_req->fields[1].arrayLen, 32u);
+    EXPECT_EQ(get_req->byteSize(), 36u);
+
+    const ServiceDef &svc = file.services[0];
+    EXPECT_EQ(svc.name, "KeyValueStore");
+    ASSERT_EQ(svc.rpcs.size(), 2u);
+    EXPECT_EQ(svc.rpcs[0].name, "get");
+    EXPECT_EQ(svc.rpcs[0].fnId, 1u);
+    EXPECT_EQ(svc.rpcs[1].fnId, 2u);
+    EXPECT_EQ(svc.rpcs[1].requestType, "SetRequest");
+}
+
+TEST(Parser, AllScalarTypes)
+{
+    IdlFile f = parse("Message M { bool a; int8 b; int16 c; int32 d; "
+                      "int64 e; uint8 f; uint16 g; uint32 h; uint64 i; "
+                      "float32 j; float64 k; }");
+    EXPECT_EQ(f.messages[0].byteSize(), 1 + 1 + 2 + 4 + 8 + 1 + 2 + 4 + 8 +
+                                            4 + 8u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    try {
+        parse("Message M {\n  int32 x;\n  badtype y;\n}");
+        FAIL() << "expected IdlError";
+    } catch (const IdlError &e) {
+        EXPECT_EQ(e.line, 3u);
+        EXPECT_NE(e.message.find("badtype"), std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsDuplicateMessage)
+{
+    EXPECT_THROW(parse("Message M { int32 x; } Message M { int32 y; }"),
+                 IdlError);
+}
+
+TEST(Parser, RejectsDuplicateField)
+{
+    EXPECT_THROW(parse("Message M { int32 x; int64 x; }"), IdlError);
+}
+
+TEST(Parser, RejectsUnknownRpcTypes)
+{
+    EXPECT_THROW(parse("Message A { int32 x; } "
+                       "Service S { rpc f(A) returns(Nope); }"),
+                 IdlError);
+}
+
+TEST(Parser, RejectsEmptyMessage)
+{
+    EXPECT_THROW(parse("Message M { }"), IdlError);
+}
+
+TEST(Parser, RejectsZeroLengthCharArray)
+{
+    EXPECT_THROW(parse("Message M { char[0] k; }"), IdlError);
+}
+
+TEST(Parser, RejectsOversizedMessage)
+{
+    EXPECT_THROW(parse("Message M { char[70000] k; }"), IdlError);
+}
+
+TEST(Parser, RejectsMissingSemicolon)
+{
+    EXPECT_THROW(parse("Message M { int32 x }"), IdlError);
+}
+
+TEST(Parser, LowercaseKeywordsAccepted)
+{
+    IdlFile f = parse("message M { int32 x; } "
+                      "service S { rpc f(M) returns(M); }");
+    EXPECT_EQ(f.messages.size(), 1u);
+    EXPECT_EQ(f.services.size(), 1u);
+}
+
+TEST(Codegen, EmitsStructsStubsAndSkeletons)
+{
+    IdlFile file = parse(kKvsIdl);
+    CodegenOptions opts;
+    opts.ns = "kvsgen";
+    opts.sourceName = "kvs.idl";
+    const std::string hdr = generateHeader(file, opts);
+
+    EXPECT_NE(hdr.find("namespace kvsgen {"), std::string::npos);
+    EXPECT_NE(hdr.find("struct GetRequest"), std::string::npos);
+    EXPECT_NE(hdr.find("char key[32]{};"), std::string::npos);
+    EXPECT_NE(hdr.find("static_assert(sizeof(GetRequest) == 36"),
+              std::string::npos);
+    EXPECT_NE(hdr.find("enum class KeyValueStoreFn"), std::string::npos);
+    EXPECT_NE(hdr.find("get = 1,"), std::string::npos);
+    EXPECT_NE(hdr.find("class KeyValueStoreClient"), std::string::npos);
+    EXPECT_NE(hdr.find("class KeyValueStoreService"), std::string::npos);
+    EXPECT_NE(hdr.find("virtual GetResult get(const GetRequest &req) = 0;"),
+              std::string::npos);
+    EXPECT_NE(hdr.find("attach(dagger::rpc::RpcThreadedServer &server)"),
+              std::string::npos);
+    // No unhygienic leftovers.
+    EXPECT_EQ(hdr.find("<memory>"), std::string::npos);
+}
+
+TEST(Codegen, BannerNamesSource)
+{
+    IdlFile file = parse("Message M { int32 x; }");
+    CodegenOptions opts;
+    opts.sourceName = "flight.idl";
+    EXPECT_NE(generateHeader(file, opts).find("from flight.idl"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ToR switch model tests: static routing, hop delay, egress
+ * serialization, queue drops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/tor_switch.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::net;
+using sim::EventQueue;
+using sim::nsToTicks;
+using sim::Tick;
+
+Packet
+packetTo(NodeId dst, std::size_t frames = 1)
+{
+    Packet p;
+    p.dst = dst;
+    p.frames.resize(frames);
+    return p;
+}
+
+TEST(TorSwitch, RoutesByDestination)
+{
+    EventQueue eq;
+    TorSwitch tor(eq);
+    auto &a = tor.attach(0);
+    auto &b = tor.attach(1);
+    int at_a = 0, at_b = 0;
+    a.setReceiver([&](Packet) { ++at_a; });
+    b.setReceiver([&](Packet) { ++at_b; });
+
+    a.send(packetTo(1));
+    b.send(packetTo(0));
+    eq.runAll();
+    EXPECT_EQ(at_a, 1);
+    EXPECT_EQ(at_b, 1);
+    EXPECT_EQ(tor.forwarded(), 2u);
+}
+
+TEST(TorSwitch, StampsSourceAddress)
+{
+    EventQueue eq;
+    TorSwitch tor(eq);
+    auto &a = tor.attach(3);
+    auto &b = tor.attach(4);
+    NodeId seen_src = 99;
+    b.setReceiver([&](Packet p) { seen_src = p.src; });
+    a.send(packetTo(4));
+    eq.runAll();
+    EXPECT_EQ(seen_src, 3u);
+}
+
+TEST(TorSwitch, HopDelayPlusSerialization)
+{
+    EventQueue eq;
+    TorSwitch tor(eq, nsToTicks(300), nsToTicks(1), 16);
+    auto &a = tor.attach(0);
+    auto &b = tor.attach(1);
+    Tick arrival = 0;
+    b.setReceiver([&](Packet) { arrival = eq.now(); });
+    a.send(packetTo(1, 2)); // 128 wire bytes
+    eq.runAll();
+    EXPECT_EQ(arrival, nsToTicks(300) + 128 * nsToTicks(1));
+}
+
+TEST(TorSwitch, UnknownDestinationDropsNotCrashes)
+{
+    EventQueue eq;
+    TorSwitch tor(eq);
+    auto &a = tor.attach(0);
+    a.send(packetTo(42));
+    eq.runAll();
+    EXPECT_EQ(tor.dropped(), 1u);
+    EXPECT_EQ(tor.forwarded(), 0u);
+}
+
+TEST(TorSwitch, EgressQueueOverflowDrops)
+{
+    EventQueue eq;
+    // Slow egress (1us/byte) and a 4-packet queue.
+    TorSwitch tor(eq, nsToTicks(10), nsToTicks(1000), 4);
+    auto &a = tor.attach(0);
+    auto &b = tor.attach(1);
+    int delivered = 0;
+    b.setReceiver([&](Packet) { ++delivered; });
+    for (int i = 0; i < 20; ++i)
+        a.send(packetTo(1));
+    eq.runAll();
+    EXPECT_GT(tor.dropped(), 0u);
+    EXPECT_LT(delivered, 20);
+    EXPECT_EQ(static_cast<std::uint64_t>(delivered), tor.forwarded());
+}
+
+TEST(TorSwitch, PerFlowFifoOrderPreserved)
+{
+    EventQueue eq;
+    TorSwitch tor(eq);
+    auto &a = tor.attach(0);
+    auto &b = tor.attach(1);
+    std::vector<std::uint32_t> order;
+    b.setReceiver([&](Packet p) {
+        order.push_back(p.frames.front().header.rpcId);
+    });
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        Packet p = packetTo(1);
+        p.frames.front().header.rpcId = i;
+        a.send(std::move(p));
+    }
+    eq.runAll();
+    ASSERT_EQ(order.size(), 10u);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * RpcClientPool tests: per-flow client provisioning, concurrent calls
+ * from a pool, aggregate statistics (§4.2: "The RpcClientPool
+ * encapsulates a pool of RPC clients that concurrently call remote
+ * procedures registered in the corresponding RpcThreadedServer").
+ */
+
+#include <gtest/gtest.h>
+
+#include "rpc/client.hh"
+#include "rpc/server.hh"
+#include "rpc/system.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::rpc;
+using sim::usToTicks;
+
+struct PoolRig
+{
+    static constexpr unsigned kFlows = 4;
+
+    PoolRig() : sys(ic::IfaceKind::Upi), cpus(sys.eq(), kFlows + 2)
+    {
+        nic::NicConfig cfg;
+        cfg.numFlows = kFlows;
+        cnode = &sys.addNode(cfg);
+        snode = &sys.addNode(cfg);
+
+        server = std::make_unique<RpcThreadedServer>(*snode);
+        for (unsigned f = 0; f < kFlows; ++f)
+            server->addThread(f, cpus.core(1 + f).thread(0));
+        server->registerHandler(1, [](const proto::RpcMessage &req) {
+            HandlerOutcome out;
+            out.response = req.payload();
+            out.cost = sim::nsToTicks(40);
+            return out;
+        });
+
+        pool = std::make_unique<RpcClientPool>(*cnode);
+        for (unsigned f = 0; f < kFlows; ++f) {
+            auto &cli = pool->addClient(f, cpus.core(0).thread(f % 2));
+            cli.setConnection(
+                sys.connect(*cnode, f, *snode, f, nic::LbScheme::Static));
+        }
+    }
+
+    DaggerSystem sys;
+    CpuSet cpus;
+    DaggerNode *cnode;
+    DaggerNode *snode;
+    std::unique_ptr<RpcThreadedServer> server;
+    std::unique_ptr<RpcClientPool> pool;
+};
+
+TEST(RpcClientPool, ProvisionsOneClientPerFlow)
+{
+    PoolRig rig;
+    EXPECT_EQ(rig.pool->size(), PoolRig::kFlows);
+    for (unsigned f = 0; f < PoolRig::kFlows; ++f)
+        EXPECT_EQ(rig.pool->client(f).flow(), f);
+    EXPECT_EQ(&rig.pool->node(), rig.cnode);
+}
+
+TEST(RpcClientPool, ConcurrentCallsAcrossFlowsAllComplete)
+{
+    PoolRig rig;
+    std::uint64_t done = 0;
+    for (int i = 0; i < 40; ++i) {
+        std::uint64_t v = i;
+        rig.pool->client(i % PoolRig::kFlows)
+            .callPod(1, v, [&](const proto::RpcMessage &) { ++done; });
+    }
+    rig.sys.eq().runFor(usToTicks(300));
+    EXPECT_EQ(done, 40u);
+    EXPECT_EQ(rig.pool->totalResponses(), 40u);
+    // Every server thread served its static flow.
+    for (unsigned f = 0; f < PoolRig::kFlows; ++f)
+        EXPECT_EQ(rig.server->serverThread(f).processed(), 10u);
+}
+
+TEST(RpcClientPool, AggregateLatencyMergesAllClients)
+{
+    PoolRig rig;
+    for (int i = 0; i < 20; ++i) {
+        std::uint64_t v = i;
+        rig.pool->client(i % PoolRig::kFlows).callPod(1, v);
+    }
+    rig.sys.eq().runFor(usToTicks(300));
+    sim::Histogram agg = rig.pool->aggregateLatency();
+    EXPECT_EQ(agg.count(), 20u);
+    std::uint64_t sum = 0;
+    for (unsigned f = 0; f < PoolRig::kFlows; ++f)
+        sum += rig.pool->client(f).latency().count();
+    EXPECT_EQ(sum, 20u);
+    // Aggregate median is a plausible RTT.
+    EXPECT_GT(agg.percentile(50), usToTicks(1.0));
+    EXPECT_LT(agg.percentile(50), usToTicks(10.0));
+}
+
+TEST(RpcClientPool, FlowsAreIndependentUnderImbalance)
+{
+    PoolRig rig;
+    // Flood flow 0 only; flow 3 stays fast.
+    std::uint64_t done0 = 0, done3 = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t v = i;
+        rig.pool->client(0).callPod(
+            1, v, [&](const proto::RpcMessage &) { ++done0; });
+    }
+    std::uint64_t v3 = 7;
+    rig.pool->client(3).callPod(
+        1, v3, [&](const proto::RpcMessage &) { ++done3; });
+    rig.sys.eq().runFor(usToTicks(100));
+    EXPECT_EQ(done3, 1u); // not stuck behind flow 0's backlog
+    rig.sys.eq().runFor(usToTicks(500));
+    EXPECT_EQ(done0, 200u);
+}
+
+} // namespace

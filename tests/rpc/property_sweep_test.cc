@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Parameterized property sweeps over the full stack.
+ *
+ * Invariants, for every (interface, batch, payload, ring-size) point:
+ *  - conservation: every request is completed exactly once, or
+ *    accounted as a drop/send-failure somewhere observable;
+ *  - integrity: every response carries the request's payload back;
+ *  - per-flow FIFO: responses arrive in issue order on a flow;
+ *  - ring occupancy returns to zero after drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rpc/client.hh"
+#include "rpc/server.hh"
+#include "rpc/system.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::rpc;
+using sim::usToTicks;
+
+using SweepParam = std::tuple<ic::IfaceKind, unsigned /*batch*/,
+                              std::size_t /*payload*/,
+                              std::size_t /*ring entries*/>;
+
+class StackSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(StackSweep, ConservationIntegrityFifoAndDrain)
+{
+    const auto [iface, batch, payload, ring] = GetParam();
+
+    DaggerSystem sys(iface);
+    CpuSet cpus(sys.eq(), 2);
+    nic::NicConfig cfg;
+    cfg.numFlows = 1;
+    cfg.iface = iface;
+    cfg.txRingEntries = ring;
+    cfg.rxRingEntries = ring;
+    nic::SoftConfig soft;
+    soft.batchSize = batch;
+
+    auto &cnode = sys.addNode(cfg, soft);
+    auto &snode = sys.addNode(cfg, soft);
+    RpcClient client(cnode, 0, cpus.core(0).thread(0));
+    client.setConnection(
+        sys.connect(cnode, 0, snode, 0, nic::LbScheme::Static));
+    RpcThreadedServer server(snode);
+    server.addThread(0, cpus.core(1).thread(0));
+    server.registerHandler(1, [](const proto::RpcMessage &req) {
+        HandlerOutcome out;
+        out.response = req.payload();
+        out.cost = sim::nsToTicks(25);
+        return out;
+    });
+
+    constexpr int kN = 300;
+    int completed = 0;
+    std::uint32_t last_seq = 0;
+    bool fifo_ok = true;
+    bool integrity_ok = true;
+
+    // Paced sends (500ns apart) so small rings survive every config.
+    for (int i = 0; i < kN; ++i) {
+        sys.eq().scheduleAt(sim::nsToTicks(500.0 * i), [&, i] {
+            std::vector<std::uint8_t> data(payload);
+            for (std::size_t b = 0; b < payload; ++b)
+                data[b] = static_cast<std::uint8_t>(i + b);
+            client.callAsync(
+                1, data.data(), data.size(),
+                [&, i, data](const proto::RpcMessage &resp) {
+                    ++completed;
+                    if (resp.payload() != data)
+                        integrity_ok = false;
+                    // Per-flow FIFO: completions in issue order.
+                    if (static_cast<std::uint32_t>(i) < last_seq)
+                        fifo_ok = false;
+                    last_seq = static_cast<std::uint32_t>(i);
+                });
+        });
+    }
+    sys.eq().runFor(usToTicks(500.0 * kN / 1000.0 + 300));
+
+    const auto failures = client.sendFailures();
+    const auto nic_drops = cnode.nicDev().monitor().drops() +
+                           snode.nicDev().monitor().drops();
+    const auto ring_drops = cnode.flow(0).rx.drops() +
+                            snode.flow(0).rx.drops();
+
+    // Conservation: every issued call either completed, failed at
+    // send time (ring full), or is still pending because its frames
+    // were dropped somewhere observable.
+    EXPECT_EQ(static_cast<std::uint64_t>(completed) + failures +
+                  client.pendingCalls(),
+              static_cast<std::uint64_t>(kN))
+        << "conservation violated";
+    // Lost-in-flight calls must have an observable cause.
+    if (client.pendingCalls() > 0)
+        EXPECT_GT(nic_drops + ring_drops, 0u);
+    else
+        EXPECT_EQ(nic_drops + ring_drops, 0u);
+    EXPECT_TRUE(integrity_ok);
+    EXPECT_TRUE(fifo_ok);
+    // Drain: all ring entries returned.
+    EXPECT_EQ(cnode.flow(0).tx.used(), 0u);
+    EXPECT_EQ(snode.flow(0).tx.used(), 0u);
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    std::string name = ic::ifaceName(std::get<0>(info.param));
+    name += "_B" + std::to_string(std::get<1>(info.param));
+    name += "_P" + std::to_string(std::get<2>(info.param));
+    name += "_R" + std::to_string(std::get<3>(info.param));
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInterfaces, StackSweep,
+    ::testing::Combine(
+        ::testing::Values(ic::IfaceKind::MmioWrite, ic::IfaceKind::Doorbell,
+                          ic::IfaceKind::DoorbellBatch, ic::IfaceKind::Upi,
+                          ic::IfaceKind::Cxl),
+        ::testing::Values(1u, 3u, 8u),
+        ::testing::Values(std::size_t{8}, std::size_t{48},
+                          std::size_t{200}),
+        ::testing::Values(std::size_t{16}, std::size_t{256})),
+    sweepName);
+
+/** Latency must be monotonically hurt by the doorbell batch factor. */
+class DoorbellBatchLatency : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DoorbellBatchLatency, TimeoutBoundsSingleRequestRtt)
+{
+    const unsigned batch = GetParam();
+    DaggerSystem sys(ic::IfaceKind::DoorbellBatch);
+    CpuSet cpus(sys.eq(), 2);
+    nic::NicConfig cfg;
+    cfg.numFlows = 1;
+    cfg.iface = ic::IfaceKind::DoorbellBatch;
+    nic::SoftConfig soft;
+    soft.batchSize = batch;
+
+    auto &cnode = sys.addNode(cfg, soft);
+    auto &snode = sys.addNode(cfg, soft);
+    RpcClient client(cnode, 0, cpus.core(0).thread(0));
+    client.setConnection(
+        sys.connect(cnode, 0, snode, 0, nic::LbScheme::Static));
+    RpcThreadedServer server(snode);
+    server.addThread(0, cpus.core(1).thread(0));
+    server.registerHandler(1, [](const proto::RpcMessage &req) {
+        HandlerOutcome out;
+        out.response = req.payload();
+        return out;
+    });
+
+    std::uint64_t v = 1;
+    client.callPod(1, v);
+    sys.eq().runFor(usToTicks(100));
+    ASSERT_EQ(client.responses(), 1u);
+    const auto rtt = client.latency().percentile(50);
+    const auto timeout = cnode.nicDev().softConfig().batchTimeout;
+    // A lone request waits at most one batch timeout per crossing,
+    // plus the first-touch cold HCC fills.
+    EXPECT_LT(rtt, usToTicks(6.0) + 4 * timeout) << "batch=" << batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, DoorbellBatchLatency,
+                         ::testing::Values(1u, 2u, 4u, 8u, 11u, 16u));
+
+} // namespace

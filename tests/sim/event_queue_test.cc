@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism,
+ * time advancement, and failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using dagger::sim::EventQueue;
+using dagger::sim::Priority;
+using dagger::sim::Tick;
+using dagger::sim::usToTicks;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(2); }, Priority::Software);
+    eq.schedule(50, [&] { order.push_back(1); }, Priority::Hardware);
+    eq.schedule(50, [&] { order.push_back(3); }, Priority::Software);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.schedule(10, [&] { ++fired; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(200, [&] { ++fired; });
+    eq.schedule(201, [&] { ++fired; });
+    eq.runUntil(200);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 200u);
+    eq.runAll();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeOnEmptyQueue)
+{
+    EventQueue eq;
+    eq.runUntil(usToTicks(5));
+    EXPECT_EQ(eq.now(), usToTicks(5));
+}
+
+TEST(EventQueue, RunForIsRelative)
+{
+    EventQueue eq;
+    eq.runFor(100);
+    eq.runFor(100);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueue, ExecutedCounterCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i + 1, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueueDeath, ScheduleInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.scheduleAt(50, [] {}), "scheduleAt in the past");
+}
+
+TEST(EventQueueDeath, RunAllDetectsRunawayLoops)
+{
+    EventQueue eq;
+    std::function<void()> self = [&] { eq.schedule(1, self); };
+    eq.schedule(1, self);
+    EXPECT_DEATH(eq.runAll(1000), "self-rescheduling");
+}
+
+TEST(EventQueue, DeterministicInterleavingAcrossRuns)
+{
+    auto run = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 100; ++i) {
+            eq.schedule((i * 37) % 13 + 1,
+                        [&order, i] { order.push_back(i); });
+        }
+        eq.runAll();
+        return order;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace

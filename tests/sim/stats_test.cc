@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Histogram / counter tests: percentile accuracy bounds, merge, reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using dagger::sim::Counter;
+using dagger::sim::Histogram;
+
+TEST(Counter, IncrementsAndResets)
+{
+    Counter c("rpcs");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    EXPECT_EQ(c.name(), "rpcs");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, EmptyHistogramReturnsZeroes)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.record(1234);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1234u);
+    EXPECT_EQ(h.max(), 1234u);
+    // One sample: every percentile is (approximately) that sample.
+    EXPECT_NEAR(h.percentile(50), 1234, 1234 * 0.04);
+    EXPECT_NEAR(h.percentile(99), 1234, 1234 * 0.04);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    EXPECT_EQ(h.percentile(100), 31u);
+    // Values below kSubBuckets land in exact unit buckets.
+    EXPECT_EQ(h.percentile(50), 15u);
+}
+
+TEST(Histogram, PercentileRelativeErrorBounded)
+{
+    Histogram h;
+    dagger::sim::Rng r(5);
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 100000; ++i) {
+        auto v = 1000 + r.range(9'000'000);
+        vals.push_back(v);
+        h.record(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+        auto exact = vals[static_cast<std::size_t>(
+            p / 100.0 * (vals.size() - 1))];
+        auto approx = h.percentile(p);
+        EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                    static_cast<double>(exact) * 0.05)
+            << "p=" << p;
+    }
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    Histogram h;
+    h.record(10);
+    h.record(20);
+    h.record(60);
+    EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(Histogram, RecordManyMatchesLoop)
+{
+    Histogram a, b;
+    a.recordMany(777, 1000);
+    for (int i = 0; i < 1000; ++i)
+        b.record(777);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.percentile(50), b.percentile(50));
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.record(100);
+    for (int i = 0; i < 100; ++i)
+        b.record(10000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.min(), 100u);
+    EXPECT_LE(a.percentile(25), 110u);
+    EXPECT_GT(a.percentile(75), 9000u);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    Histogram h;
+    h.record(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(99), 0u);
+    h.record(7);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, SummaryUsFormats)
+{
+    Histogram h;
+    h.record(dagger::sim::usToTicks(2.0));
+    auto s = h.summaryUs();
+    EXPECT_NE(s.find("p50="), std::string::npos);
+    EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(Time, ConversionRoundTrips)
+{
+    using namespace dagger::sim;
+    EXPECT_EQ(nsToTicks(1.0), kPsPerNs);
+    EXPECT_EQ(usToTicks(2.5), 2500 * kPsPerNs);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(7.0)), 7.0);
+    EXPECT_DOUBLE_EQ(ratePerSec(1000, usToTicks(100)), 1e7);
+    EXPECT_DOUBLE_EQ(ratePerSec(5, 0), 0.0);
+}
+
+} // namespace

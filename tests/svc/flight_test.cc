@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Flight Registration application tests (§5.7): correctness of the
+ * 8-tier pipeline, threading-model contrast, tracing, store effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "svc/flight.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::svc;
+using sim::msToTicks;
+using sim::usToTicks;
+
+TEST(FlightApp, LowLoadRegistrationsComplete)
+{
+    FlightConfig cfg;
+    cfg.model = ThreadingModel::Simple;
+    cfg.staffReadRate = 0;
+    FlightApp app(cfg);
+    app.run(/*krps=*/0.5, msToTicks(40));
+    EXPECT_GT(app.issued(), 10u);
+    EXPECT_EQ(app.completed(), app.issued());
+    EXPECT_EQ(app.dropRate(), 0.0);
+}
+
+TEST(FlightApp, RegistrationsLandInAirportStore)
+{
+    FlightConfig cfg;
+    cfg.staffReadRate = 0;
+    FlightApp app(cfg);
+    app.run(0.5, msToTicks(30));
+    EXPECT_EQ(app.airportStore().totalStats().sets, app.completed());
+}
+
+TEST(FlightApp, SimpleModelLatencyIsTensOfMicroseconds)
+{
+    FlightConfig cfg;
+    cfg.model = ThreadingModel::Simple;
+    cfg.staffReadRate = 0;
+    FlightApp app(cfg);
+    app.run(0.5, msToTicks(60));
+    const double p50_us = sim::ticksToUs(app.e2eLatency().percentile(50));
+    // Table 4: Simple model median 13.3us; sanity band.
+    EXPECT_GT(p50_us, 5.0);
+    EXPECT_LT(p50_us, 40.0);
+}
+
+TEST(FlightApp, OptimizedAddsLatencyButSurvivesHighLoad)
+{
+    FlightConfig simple_cfg;
+    simple_cfg.model = ThreadingModel::Simple;
+    simple_cfg.staffReadRate = 0;
+    FlightApp simple(simple_cfg);
+    simple.run(/*krps=*/10.0, msToTicks(60));
+
+    FlightConfig opt_cfg;
+    opt_cfg.model = ThreadingModel::Optimized;
+    opt_cfg.staffReadRate = 0;
+    FlightApp opt(opt_cfg);
+    opt.run(/*krps=*/10.0, msToTicks(60));
+
+    // At 10 Krps the Simple model (capacity ~3 Krps) loses most
+    // requests; Optimized keeps up (Table 4: 2.7 vs 48 Krps).
+    EXPECT_GT(simple.dropRate(), 0.4);
+    EXPECT_LT(opt.dropRate(), 0.02);
+}
+
+TEST(FlightApp, OptimizedLatencyHigherAtLowLoad)
+{
+    FlightConfig s;
+    s.model = ThreadingModel::Simple;
+    s.staffReadRate = 0;
+    FlightApp simple(s);
+    simple.run(0.3, msToTicks(60));
+
+    FlightConfig o;
+    o.model = ThreadingModel::Optimized;
+    o.staffReadRate = 0;
+    FlightApp opt(o);
+    opt.run(0.3, msToTicks(60));
+
+    // §5.7: "the latency became larger in this case due to the
+    // overhead of inter-thread communication".
+    EXPECT_GT(opt.e2eLatency().percentile(50),
+              simple.e2eLatency().percentile(50));
+}
+
+TEST(FlightApp, TracerIdentifiesFlightAsBottleneck)
+{
+    FlightConfig cfg;
+    cfg.staffReadRate = 0;
+    FlightApp app(cfg);
+    app.run(1.0, msToTicks(80));
+    // §5.7: "Our analysis reveals that the system is bottlenecked by
+    // the resource-demanding and long-running Flight service."
+    EXPECT_EQ(app.tracer().bottleneck(), "flight");
+    EXPECT_GT(app.tracer().span("flight").count(), 0u);
+    EXPECT_GT(app.tracer().span("checkin").count(), 0u);
+    EXPECT_GT(app.tracer().span("passport").count(), 0u);
+}
+
+TEST(FlightApp, StaffFrontendReadsConcurrently)
+{
+    FlightConfig cfg;
+    cfg.model = ThreadingModel::Optimized;
+    cfg.staffReadRate = 2000.0;
+    FlightApp app(cfg);
+    app.run(1.0, msToTicks(50));
+    EXPECT_GT(app.staffReadsCompleted(), 20u);
+    EXPECT_GT(app.completed(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * daggeridl: the Dagger IDL compiler.
+ *
+ * Usage: daggeridl [--ns NAMESPACE] INPUT.idl OUTPUT.hh
+ *
+ * Reads a Dagger IDL file (paper §4.2, Listing 1) and writes a C++
+ * header with message PODs, client stubs, and server skeletons.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "idl/codegen.hh"
+#include "idl/parser.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: daggeridl [--ns NAMESPACE] INPUT.idl OUTPUT.hh\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dagger::idl::CodegenOptions opts;
+    std::string input, output;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--ns") {
+            if (++i >= argc)
+                return usage();
+            opts.ns = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (input.empty()) {
+            input = arg;
+        } else if (output.empty()) {
+            output = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty() || output.empty())
+        return usage();
+
+    std::ifstream in(input);
+    if (!in) {
+        std::cerr << "daggeridl: cannot open " << input << "\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    opts.sourceName = input;
+    try {
+        const auto file = dagger::idl::parse(buf.str());
+        const std::string header = dagger::idl::generateHeader(file, opts);
+        std::ofstream out(output);
+        if (!out) {
+            std::cerr << "daggeridl: cannot write " << output << "\n";
+            return 1;
+        }
+        out << header;
+    } catch (const dagger::idl::IdlError &err) {
+        std::cerr << input << ":" << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
