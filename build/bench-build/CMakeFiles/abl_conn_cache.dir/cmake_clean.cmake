@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_conn_cache"
+  "../bench/abl_conn_cache.pdb"
+  "CMakeFiles/abl_conn_cache.dir/abl_conn_cache.cc.o"
+  "CMakeFiles/abl_conn_cache.dir/abl_conn_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_conn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_load_balancer"
+  "../bench/abl_load_balancer.pdb"
+  "CMakeFiles/abl_load_balancer.dir/abl_load_balancer.cc.o"
+  "CMakeFiles/abl_load_balancer.dir/abl_load_balancer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_polling_mode"
+  "../bench/abl_polling_mode.pdb"
+  "CMakeFiles/abl_polling_mode.dir/abl_polling_mode.cc.o"
+  "CMakeFiles/abl_polling_mode.dir/abl_polling_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_polling_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cxl_interface"
+  "../bench/ext_cxl_interface.pdb"
+  "CMakeFiles/ext_cxl_interface.dir/ext_cxl_interface.cc.o"
+  "CMakeFiles/ext_cxl_interface.dir/ext_cxl_interface.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cxl_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

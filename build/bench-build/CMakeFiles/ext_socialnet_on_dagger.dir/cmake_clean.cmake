@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_socialnet_on_dagger"
+  "../bench/ext_socialnet_on_dagger.pdb"
+  "CMakeFiles/ext_socialnet_on_dagger.dir/ext_socialnet_on_dagger.cc.o"
+  "CMakeFiles/ext_socialnet_on_dagger.dir/ext_socialnet_on_dagger.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_socialnet_on_dagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_socialnet_on_dagger.
+# This may be replaced when dependencies are built.

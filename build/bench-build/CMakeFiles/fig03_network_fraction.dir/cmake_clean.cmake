@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_network_fraction"
+  "../bench/fig03_network_fraction.pdb"
+  "CMakeFiles/fig03_network_fraction.dir/fig03_network_fraction.cc.o"
+  "CMakeFiles/fig03_network_fraction.dir/fig03_network_fraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_network_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

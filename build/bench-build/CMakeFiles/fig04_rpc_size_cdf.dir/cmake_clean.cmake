@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_rpc_size_cdf"
+  "../bench/fig04_rpc_size_cdf.pdb"
+  "CMakeFiles/fig04_rpc_size_cdf.dir/fig04_rpc_size_cdf.cc.o"
+  "CMakeFiles/fig04_rpc_size_cdf.dir/fig04_rpc_size_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rpc_size_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

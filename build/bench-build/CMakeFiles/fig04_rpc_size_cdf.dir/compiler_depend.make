@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_rpc_size_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_interference"
+  "../bench/fig05_interference.pdb"
+  "CMakeFiles/fig05_interference.dir/fig05_interference.cc.o"
+  "CMakeFiles/fig05_interference.dir/fig05_interference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cpu_nic_interfaces"
+  "../bench/fig10_cpu_nic_interfaces.pdb"
+  "CMakeFiles/fig10_cpu_nic_interfaces.dir/fig10_cpu_nic_interfaces.cc.o"
+  "CMakeFiles/fig10_cpu_nic_interfaces.dir/fig10_cpu_nic_interfaces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_nic_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

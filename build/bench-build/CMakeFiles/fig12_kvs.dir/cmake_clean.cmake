@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_kvs"
+  "../bench/fig12_kvs.pdb"
+  "CMakeFiles/fig12_kvs.dir/fig12_kvs.cc.o"
+  "CMakeFiles/fig12_kvs.dir/fig12_kvs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

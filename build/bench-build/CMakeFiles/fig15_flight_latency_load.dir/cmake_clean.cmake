@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_flight_latency_load"
+  "../bench/fig15_flight_latency_load.pdb"
+  "CMakeFiles/fig15_flight_latency_load.dir/fig15_flight_latency_load.cc.o"
+  "CMakeFiles/fig15_flight_latency_load.dir/fig15_flight_latency_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_flight_latency_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_flight_threading"
+  "../bench/table4_flight_threading.pdb"
+  "CMakeFiles/table4_flight_threading.dir/table4_flight_threading.cc.o"
+  "CMakeFiles/table4_flight_threading.dir/table4_flight_threading.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_flight_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

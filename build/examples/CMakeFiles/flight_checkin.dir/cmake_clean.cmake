@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_checkin.dir/flight_checkin.cc.o"
+  "CMakeFiles/flight_checkin.dir/flight_checkin.cc.o.d"
+  "flight_checkin"
+  "flight_checkin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_checkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

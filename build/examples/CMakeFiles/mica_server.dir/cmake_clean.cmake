@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mica_server.dir/mica_server.cc.o"
+  "CMakeFiles/mica_server.dir/mica_server.cc.o.d"
+  "mica_server"
+  "mica_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mica_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

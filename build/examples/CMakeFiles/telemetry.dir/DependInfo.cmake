@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/telemetry.cc" "examples/CMakeFiles/telemetry.dir/telemetry.cc.o" "gcc" "examples/CMakeFiles/telemetry.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idl/CMakeFiles/dagger_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/dagger_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dagger_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/dagger_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dagger_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/dagger_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dagger_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ic/CMakeFiles/dagger_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dagger_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dagger_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dagger_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

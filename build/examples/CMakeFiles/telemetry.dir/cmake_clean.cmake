@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../generated/telemetry_gen.hh"
+  "CMakeFiles/telemetry.dir/telemetry.cc.o"
+  "CMakeFiles/telemetry.dir/telemetry.cc.o.d"
+  "telemetry"
+  "telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_app.dir/kvs_service.cc.o"
+  "CMakeFiles/dagger_app.dir/kvs_service.cc.o.d"
+  "CMakeFiles/dagger_app.dir/memcached.cc.o"
+  "CMakeFiles/dagger_app.dir/memcached.cc.o.d"
+  "CMakeFiles/dagger_app.dir/mica.cc.o"
+  "CMakeFiles/dagger_app.dir/mica.cc.o.d"
+  "libdagger_app.a"
+  "libdagger_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_baseline.dir/soft_rpc_node.cc.o"
+  "CMakeFiles/dagger_baseline.dir/soft_rpc_node.cc.o.d"
+  "CMakeFiles/dagger_baseline.dir/soft_stack.cc.o"
+  "CMakeFiles/dagger_baseline.dir/soft_stack.cc.o.d"
+  "libdagger_baseline.a"
+  "libdagger_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ic/cci_fabric.cc" "src/ic/CMakeFiles/dagger_ic.dir/cci_fabric.cc.o" "gcc" "src/ic/CMakeFiles/dagger_ic.dir/cci_fabric.cc.o.d"
+  "/root/repo/src/ic/channel.cc" "src/ic/CMakeFiles/dagger_ic.dir/channel.cc.o" "gcc" "src/ic/CMakeFiles/dagger_ic.dir/channel.cc.o.d"
+  "/root/repo/src/ic/cost_model.cc" "src/ic/CMakeFiles/dagger_ic.dir/cost_model.cc.o" "gcc" "src/ic/CMakeFiles/dagger_ic.dir/cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dagger_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_ic.dir/cci_fabric.cc.o"
+  "CMakeFiles/dagger_ic.dir/cci_fabric.cc.o.d"
+  "CMakeFiles/dagger_ic.dir/channel.cc.o"
+  "CMakeFiles/dagger_ic.dir/channel.cc.o.d"
+  "CMakeFiles/dagger_ic.dir/cost_model.cc.o"
+  "CMakeFiles/dagger_ic.dir/cost_model.cc.o.d"
+  "libdagger_ic.a"
+  "libdagger_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_idl.dir/codegen.cc.o"
+  "CMakeFiles/dagger_idl.dir/codegen.cc.o.d"
+  "CMakeFiles/dagger_idl.dir/lexer.cc.o"
+  "CMakeFiles/dagger_idl.dir/lexer.cc.o.d"
+  "CMakeFiles/dagger_idl.dir/parser.cc.o"
+  "CMakeFiles/dagger_idl.dir/parser.cc.o.d"
+  "libdagger_idl.a"
+  "libdagger_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_mem.dir/mem.cc.o"
+  "CMakeFiles/dagger_mem.dir/mem.cc.o.d"
+  "libdagger_mem.a"
+  "libdagger_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_net.dir/tor_switch.cc.o"
+  "CMakeFiles/dagger_net.dir/tor_switch.cc.o.d"
+  "libdagger_net.a"
+  "libdagger_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

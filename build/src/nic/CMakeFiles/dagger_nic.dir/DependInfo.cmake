@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/ack_protocol.cc" "src/nic/CMakeFiles/dagger_nic.dir/ack_protocol.cc.o" "gcc" "src/nic/CMakeFiles/dagger_nic.dir/ack_protocol.cc.o.d"
+  "/root/repo/src/nic/connection_manager.cc" "src/nic/CMakeFiles/dagger_nic.dir/connection_manager.cc.o" "gcc" "src/nic/CMakeFiles/dagger_nic.dir/connection_manager.cc.o.d"
+  "/root/repo/src/nic/dagger_nic.cc" "src/nic/CMakeFiles/dagger_nic.dir/dagger_nic.cc.o" "gcc" "src/nic/CMakeFiles/dagger_nic.dir/dagger_nic.cc.o.d"
+  "/root/repo/src/nic/load_balancer.cc" "src/nic/CMakeFiles/dagger_nic.dir/load_balancer.cc.o" "gcc" "src/nic/CMakeFiles/dagger_nic.dir/load_balancer.cc.o.d"
+  "/root/repo/src/nic/request_buffer.cc" "src/nic/CMakeFiles/dagger_nic.dir/request_buffer.cc.o" "gcc" "src/nic/CMakeFiles/dagger_nic.dir/request_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dagger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dagger_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ic/CMakeFiles/dagger_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dagger_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dagger_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_nic.dir/ack_protocol.cc.o"
+  "CMakeFiles/dagger_nic.dir/ack_protocol.cc.o.d"
+  "CMakeFiles/dagger_nic.dir/connection_manager.cc.o"
+  "CMakeFiles/dagger_nic.dir/connection_manager.cc.o.d"
+  "CMakeFiles/dagger_nic.dir/dagger_nic.cc.o"
+  "CMakeFiles/dagger_nic.dir/dagger_nic.cc.o.d"
+  "CMakeFiles/dagger_nic.dir/load_balancer.cc.o"
+  "CMakeFiles/dagger_nic.dir/load_balancer.cc.o.d"
+  "CMakeFiles/dagger_nic.dir/request_buffer.cc.o"
+  "CMakeFiles/dagger_nic.dir/request_buffer.cc.o.d"
+  "libdagger_nic.a"
+  "libdagger_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

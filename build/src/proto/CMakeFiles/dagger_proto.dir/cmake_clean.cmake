@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_proto.dir/wire.cc.o"
+  "CMakeFiles/dagger_proto.dir/wire.cc.o.d"
+  "libdagger_proto.a"
+  "libdagger_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

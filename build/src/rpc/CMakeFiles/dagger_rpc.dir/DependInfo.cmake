@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cc" "src/rpc/CMakeFiles/dagger_rpc.dir/client.cc.o" "gcc" "src/rpc/CMakeFiles/dagger_rpc.dir/client.cc.o.d"
+  "/root/repo/src/rpc/cpu.cc" "src/rpc/CMakeFiles/dagger_rpc.dir/cpu.cc.o" "gcc" "src/rpc/CMakeFiles/dagger_rpc.dir/cpu.cc.o.d"
+  "/root/repo/src/rpc/report.cc" "src/rpc/CMakeFiles/dagger_rpc.dir/report.cc.o" "gcc" "src/rpc/CMakeFiles/dagger_rpc.dir/report.cc.o.d"
+  "/root/repo/src/rpc/server.cc" "src/rpc/CMakeFiles/dagger_rpc.dir/server.cc.o" "gcc" "src/rpc/CMakeFiles/dagger_rpc.dir/server.cc.o.d"
+  "/root/repo/src/rpc/system.cc" "src/rpc/CMakeFiles/dagger_rpc.dir/system.cc.o" "gcc" "src/rpc/CMakeFiles/dagger_rpc.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dagger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dagger_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ic/CMakeFiles/dagger_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dagger_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/dagger_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dagger_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

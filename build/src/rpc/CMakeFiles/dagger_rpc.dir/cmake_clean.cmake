@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_rpc.dir/client.cc.o"
+  "CMakeFiles/dagger_rpc.dir/client.cc.o.d"
+  "CMakeFiles/dagger_rpc.dir/cpu.cc.o"
+  "CMakeFiles/dagger_rpc.dir/cpu.cc.o.d"
+  "CMakeFiles/dagger_rpc.dir/report.cc.o"
+  "CMakeFiles/dagger_rpc.dir/report.cc.o.d"
+  "CMakeFiles/dagger_rpc.dir/server.cc.o"
+  "CMakeFiles/dagger_rpc.dir/server.cc.o.d"
+  "CMakeFiles/dagger_rpc.dir/system.cc.o"
+  "CMakeFiles/dagger_rpc.dir/system.cc.o.d"
+  "libdagger_rpc.a"
+  "libdagger_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

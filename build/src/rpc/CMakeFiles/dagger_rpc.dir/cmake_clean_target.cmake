@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdagger_rpc.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dagger_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/dagger_sim.dir/logging.cc.o"
+  "CMakeFiles/dagger_sim.dir/logging.cc.o.d"
+  "CMakeFiles/dagger_sim.dir/rng.cc.o"
+  "CMakeFiles/dagger_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dagger_sim.dir/stats.cc.o"
+  "CMakeFiles/dagger_sim.dir/stats.cc.o.d"
+  "libdagger_sim.a"
+  "libdagger_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_svc.dir/flight.cc.o"
+  "CMakeFiles/dagger_svc.dir/flight.cc.o.d"
+  "CMakeFiles/dagger_svc.dir/socialnet.cc.o"
+  "CMakeFiles/dagger_svc.dir/socialnet.cc.o.d"
+  "CMakeFiles/dagger_svc.dir/tier.cc.o"
+  "CMakeFiles/dagger_svc.dir/tier.cc.o.d"
+  "libdagger_svc.a"
+  "libdagger_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app.dir/app/kvs_service_test.cc.o"
+  "CMakeFiles/test_app.dir/app/kvs_service_test.cc.o.d"
+  "CMakeFiles/test_app.dir/app/kvs_sweep_test.cc.o"
+  "CMakeFiles/test_app.dir/app/kvs_sweep_test.cc.o.d"
+  "CMakeFiles/test_app.dir/app/memcached_test.cc.o"
+  "CMakeFiles/test_app.dir/app/memcached_test.cc.o.d"
+  "CMakeFiles/test_app.dir/app/mica_test.cc.o"
+  "CMakeFiles/test_app.dir/app/mica_test.cc.o.d"
+  "test_app"
+  "test_app.pdb"
+  "test_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ic.dir/ic/channel_test.cc.o"
+  "CMakeFiles/test_ic.dir/ic/channel_test.cc.o.d"
+  "test_ic"
+  "test_ic.pdb"
+  "test_ic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idl.dir/idl/idl_enum_test.cc.o"
+  "CMakeFiles/test_idl.dir/idl/idl_enum_test.cc.o.d"
+  "CMakeFiles/test_idl.dir/idl/idl_options_test.cc.o"
+  "CMakeFiles/test_idl.dir/idl/idl_options_test.cc.o.d"
+  "CMakeFiles/test_idl.dir/idl/idl_test.cc.o"
+  "CMakeFiles/test_idl.dir/idl/idl_test.cc.o.d"
+  "test_idl"
+  "test_idl.pdb"
+  "test_idl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

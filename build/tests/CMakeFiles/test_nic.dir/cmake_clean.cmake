@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic.dir/nic/connection_manager_test.cc.o"
+  "CMakeFiles/test_nic.dir/nic/connection_manager_test.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/load_balancer_test.cc.o"
+  "CMakeFiles/test_nic.dir/nic/load_balancer_test.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/request_buffer_test.cc.o"
+  "CMakeFiles/test_nic.dir/nic/request_buffer_test.cc.o.d"
+  "test_nic"
+  "test_nic.pdb"
+  "test_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

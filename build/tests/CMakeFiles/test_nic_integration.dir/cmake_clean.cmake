@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_integration.dir/nic/ack_protocol_test.cc.o"
+  "CMakeFiles/test_nic_integration.dir/nic/ack_protocol_test.cc.o.d"
+  "CMakeFiles/test_nic_integration.dir/nic/nic_integration_test.cc.o"
+  "CMakeFiles/test_nic_integration.dir/nic/nic_integration_test.cc.o.d"
+  "test_nic_integration"
+  "test_nic_integration.pdb"
+  "test_nic_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

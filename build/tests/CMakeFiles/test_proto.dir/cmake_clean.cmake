@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/proto/reassembler_fuzz_test.cc.o"
+  "CMakeFiles/test_proto.dir/proto/reassembler_fuzz_test.cc.o.d"
+  "CMakeFiles/test_proto.dir/proto/wire_test.cc.o"
+  "CMakeFiles/test_proto.dir/proto/wire_test.cc.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc.dir/rpc/client_pool_test.cc.o"
+  "CMakeFiles/test_rpc.dir/rpc/client_pool_test.cc.o.d"
+  "CMakeFiles/test_rpc.dir/rpc/end_to_end_test.cc.o"
+  "CMakeFiles/test_rpc.dir/rpc/end_to_end_test.cc.o.d"
+  "CMakeFiles/test_rpc.dir/rpc/system_test.cc.o"
+  "CMakeFiles/test_rpc.dir/rpc/system_test.cc.o.d"
+  "test_rpc"
+  "test_rpc.pdb"
+  "test_rpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_units.dir/rpc/cpu_test.cc.o"
+  "CMakeFiles/test_rpc_units.dir/rpc/cpu_test.cc.o.d"
+  "CMakeFiles/test_rpc_units.dir/rpc/rings_test.cc.o"
+  "CMakeFiles/test_rpc_units.dir/rpc/rings_test.cc.o.d"
+  "test_rpc_units"
+  "test_rpc_units.pdb"
+  "test_rpc_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

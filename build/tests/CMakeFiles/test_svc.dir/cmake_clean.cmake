@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc.dir/svc/flight_test.cc.o"
+  "CMakeFiles/test_svc.dir/svc/flight_test.cc.o.d"
+  "CMakeFiles/test_svc.dir/svc/socialnet_test.cc.o"
+  "CMakeFiles/test_svc.dir/svc/socialnet_test.cc.o.d"
+  "CMakeFiles/test_svc.dir/svc/tier_test.cc.o"
+  "CMakeFiles/test_svc.dir/svc/tier_test.cc.o.d"
+  "test_svc"
+  "test_svc.pdb"
+  "test_svc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daggeridl.dir/daggeridl/main.cc.o"
+  "CMakeFiles/daggeridl.dir/daggeridl/main.cc.o.d"
+  "daggeridl"
+  "daggeridl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daggeridl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
