@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench/harness.hh"
@@ -24,9 +25,9 @@ using namespace dagger::bench;
 
 struct Result
 {
-    std::size_t cache_entries;
-    double p50_us;
-    double hit_rate;
+    std::size_t cache_entries = 0;
+    double p50_us = 0;
+    double hit_rate = 0;
 };
 
 Result
@@ -87,38 +88,53 @@ runWith(std::size_t cache_entries, unsigned connections)
     return r;
 }
 
-} // namespace
+constexpr unsigned kConnections = 256;
+constexpr std::size_t kCacheSizes[] = {16, 64, 256, 1024};
 
-int
-main()
+void
+run(BenchContext &ctx)
 {
-    constexpr unsigned kConnections = 256;
+    ctx.seed(7);
+    ctx.config("connections", static_cast<double>(kConnections));
+
+    std::vector<std::function<Result()>> scenarios;
+    for (std::size_t entries : kCacheSizes)
+        scenarios.push_back(
+            [entries] { return runWith(entries, kConnections); });
+    const std::vector<Result> results =
+        ctx.runner().run(std::move(scenarios));
+
     tableHeader("Ablation: connection cache size (256 connections, DRAM "
                 "backing on)",
                 "cache entries   conn-cache hit rate   median RTT (us)");
 
-    std::vector<Result> results;
-    for (std::size_t entries : {16u, 64u, 256u, 1024u}) {
-        Result r = runWith(entries, kConnections);
-        results.push_back(r);
+    for (const Result &r : results) {
         std::printf("%13zu %21.3f %17.2f\n", r.cache_entries, r.hit_rate,
                     r.p50_us);
+        ctx.point()
+            .value("cache_entries", static_cast<double>(r.cache_entries))
+            .value("hit_rate", r.hit_rate)
+            .value("p50_us", r.p50_us);
     }
 
-    bool ok = true;
     // Each RPC looks the connection up twice in short succession
     // (egress + response steering), so even a thrashing cache floors
     // at ~50% hits; below that every *first* lookup is a miss.
-    ok &= shapeCheck("an undersized cache thrashes (every 1st lookup "
-                     "misses)",
-                     results[0].hit_rate < 0.55);
-    ok &= shapeCheck("a right-sized cache serves on-chip",
-                     results.back().hit_rate > 0.95);
-    ok &= shapeCheck("misses cost latency (coherent fills, §4.2)",
-                     results[0].p50_us > results.back().p50_us + 0.2);
-    ok &= shapeCheck("hit rate improves monotonically with size",
-                     results[0].hit_rate <= results[1].hit_rate &&
-                         results[1].hit_rate <= results[2].hit_rate &&
-                         results[2].hit_rate <= results[3].hit_rate);
-    return ok ? 0 : 1;
+    ctx.check("an undersized cache thrashes (every 1st lookup misses)",
+              results[0].hit_rate < 0.55);
+    ctx.check("a right-sized cache serves on-chip",
+              results.back().hit_rate > 0.95);
+    ctx.check("misses cost latency (coherent fills, §4.2)",
+              results[0].p50_us > results.back().p50_us + 0.2);
+    ctx.check("hit rate improves monotonically with size",
+              results[0].hit_rate <= results[1].hit_rate &&
+                  results[1].hit_rate <= results[2].hit_rate &&
+                  results[2].hit_rate <= results[3].hit_rate);
+
+    ctx.anchor("right_sized_hit_rate", 1.0, results.back().hit_rate,
+               0.05);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("abl_conn_cache", run)

@@ -12,6 +12,8 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench/harness.hh"
 
@@ -23,8 +25,8 @@ using namespace dagger::bench;
 
 struct Result
 {
-    double mrps;
-    double violation_rate;
+    double mrps = 0;
+    double violation_rate = 0;
 };
 
 Result
@@ -84,28 +86,50 @@ runWith(nic::LbScheme lb)
     return r;
 }
 
-} // namespace
-
-int
-main()
+void
+run(BenchContext &ctx)
 {
+    ctx.seed(0xbe0c4);
+    ctx.config("partitions", 4.0);
+
+    std::vector<std::function<Result()>> scenarios = {
+        [] { return runWith(nic::LbScheme::RoundRobin); },
+        [] { return runWith(nic::LbScheme::ObjectLevel); },
+    };
+    const std::vector<Result> results =
+        ctx.runner().run(std::move(scenarios));
+    const Result &rr = results[0];
+    const Result &ol = results[1];
+
     tableHeader("Ablation: round-robin vs object-level LB on 4-partition "
                 "MICA",
                 "balancer       throughput(Mrps)   EREW violation rate");
 
-    Result rr = runWith(nic::LbScheme::RoundRobin);
-    Result ol = runWith(nic::LbScheme::ObjectLevel);
     std::printf("%-14s %16.2f %21.3f\n", "round-robin", rr.mrps,
                 rr.violation_rate);
     std::printf("%-14s %16.2f %21.3f\n", "object-level", ol.mrps,
                 ol.violation_rate);
+    ctx.point()
+        .tag("balancer", "round-robin")
+        .value("mrps", rr.mrps)
+        .value("violation_rate", rr.violation_rate);
+    ctx.point()
+        .tag("balancer", "object-level")
+        .value("mrps", ol.mrps)
+        .value("violation_rate", ol.violation_rate);
 
-    bool ok = true;
-    ok &= shapeCheck("object-level steering preserves EREW exactly",
-                     ol.violation_rate == 0.0);
-    ok &= shapeCheck("round-robin violates EREW on ~3/4 of accesses",
-                     rr.violation_rate > 0.6);
-    ok &= shapeCheck("object-level yields higher throughput",
-                     ol.mrps > 1.1 * rr.mrps);
-    return ok ? 0 : 1;
+    ctx.check("object-level steering preserves EREW exactly",
+              ol.violation_rate == 0.0);
+    ctx.check("round-robin violates EREW on ~3/4 of accesses",
+              rr.violation_rate > 0.6);
+    ctx.check("object-level yields higher throughput",
+              ol.mrps > 1.1 * rr.mrps);
+
+    // Round-robin across P partitions sends (P-1)/P of requests to the
+    // wrong flow: 0.75 for the 4-partition setup.
+    ctx.anchor("rr_violation_rate", 0.75, rr.violation_rate, 0.15);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("abl_load_balancer", run)

@@ -16,6 +16,8 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench/harness.hh"
 
@@ -66,42 +68,73 @@ makeRig(Mode m)
     return rig;
 }
 
-} // namespace
-
-int
-main()
+struct ModePoint
 {
+    double lowload_p50 = 0;
+    double peak_mrps = 0;
+};
+
+ModePoint
+runMode(Mode m)
+{
+    ModePoint r;
+    {
+        auto rig = makeRig(m);
+        Point p = rig->offer(0.5, sim::msToTicks(1), sim::msToTicks(6));
+        r.lowload_p50 = p.p50_us;
+    }
+    {
+        auto rig = makeRig(m);
+        Point p = rig->saturate(96);
+        r.peak_mrps = p.mrps;
+    }
+    return r;
+}
+
+constexpr Mode kModes[] = {Mode::ForcedLocal, Mode::ForcedLlc,
+                           Mode::Dynamic};
+
+void
+run(BenchContext &ctx)
+{
+    ctx.seed(0xbe0c4);
+
+    std::vector<std::function<ModePoint()>> scenarios;
+    for (Mode m : kModes)
+        scenarios.push_back([m] { return runMode(m); });
+    const std::vector<ModePoint> results =
+        ctx.runner().run(std::move(scenarios));
+
     tableHeader("Ablation: FPGA polling mode (local coherent cache vs "
                 "processor LLC)",
                 "mode           low-load p50(us)   saturation Mrps");
 
-    double lowload[3], peak[3];
-    int i = 0;
-    for (Mode m : {Mode::ForcedLocal, Mode::ForcedLlc, Mode::Dynamic}) {
-        {
-            auto rig = makeRig(m);
-            Point p =
-                rig->offer(0.5, sim::msToTicks(1), sim::msToTicks(6));
-            lowload[i] = p.p50_us;
-        }
-        {
-            auto rig = makeRig(m);
-            Point p = rig->saturate(96);
-            peak[i] = p.mrps;
-        }
-        std::printf("%-14s %16.2f %17.2f\n", modeName(m), lowload[i],
-                    peak[i]);
-        ++i;
+    for (unsigned i = 0; i < 3; ++i) {
+        std::printf("%-14s %16.2f %17.2f\n", modeName(kModes[i]),
+                    results[i].lowload_p50, results[i].peak_mrps);
+        ctx.point()
+            .tag("mode", modeName(kModes[i]))
+            .value("lowload_p50_us", results[i].lowload_p50)
+            .value("peak_mrps", results[i].peak_mrps);
     }
 
-    bool ok = true;
-    ok &= shapeCheck("local-cache polling wins at light load (latency)",
-                     lowload[0] < lowload[1]);
-    ok &= shapeCheck("LLC polling wins at saturation (CPU efficiency)",
-                     peak[1] > peak[0] * 1.02);
-    ok &= shapeCheck("dynamic switch ~ best of both: latency",
-                     lowload[2] < lowload[1] + 0.15);
-    ok &= shapeCheck("dynamic switch ~ best of both: throughput",
-                     peak[2] > 0.97 * peak[1]);
-    return ok ? 0 : 1;
+    const ModePoint &local = results[0];
+    const ModePoint &llc = results[1];
+    const ModePoint &dyn = results[2];
+
+    ctx.check("local-cache polling wins at light load (latency)",
+              local.lowload_p50 < llc.lowload_p50);
+    ctx.check("LLC polling wins at saturation (CPU efficiency)",
+              llc.peak_mrps > local.peak_mrps * 1.02);
+    ctx.check("dynamic switch ~ best of both: latency",
+              dyn.lowload_p50 < llc.lowload_p50 + 0.15);
+    ctx.check("dynamic switch ~ best of both: throughput",
+              dyn.peak_mrps > 0.97 * llc.peak_mrps);
+
+    ctx.anchor("dynamic_vs_llc_peak_ratio", 1.0,
+               dyn.peak_mrps / llc.peak_mrps, 0.10);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("abl_polling_mode", run)

@@ -13,59 +13,94 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench/harness.hh"
 
-int
-main()
+namespace {
+
+using namespace dagger;
+using namespace dagger::bench;
+
+struct RowResult
 {
-    using namespace dagger;
-    using namespace dagger::bench;
+    Point lat;
+    double sat = 0;
+};
+
+struct RowSpec
+{
+    const char *label;
+    ic::IfaceKind iface;
+    unsigned batch;
+};
+
+constexpr RowSpec kRows[] = {
+    {"UPI B=1", ic::IfaceKind::Upi, 1},
+    {"UPI B=4", ic::IfaceKind::Upi, 4},
+    {"CXL B=1", ic::IfaceKind::Cxl, 1},
+    {"CXL B=4", ic::IfaceKind::Cxl, 4},
+};
+
+RowResult
+runRow(const RowSpec &spec)
+{
+    EchoRig::Options opt;
+    opt.iface = spec.iface;
+    opt.batch = spec.batch;
+    opt.threads = 1;
+    RowResult r;
+    {
+        EchoRig rig(opt);
+        r.lat = rig.offer(0.5, sim::msToTicks(1), sim::msToTicks(6));
+    }
+    {
+        EchoRig rig(opt);
+        r.sat = rig.saturate(96).mrps;
+    }
+    return r;
+}
+
+void
+run(BenchContext &ctx)
+{
+    ctx.seed(0xbe0c4);
+    ctx.config("payload_bytes", 64.0);
+
+    std::vector<std::function<RowResult()>> scenarios;
+    for (const RowSpec &spec : kRows)
+        scenarios.push_back([&spec] { return runRow(spec); });
+    const std::vector<RowResult> rows =
+        ctx.runner().run(std::move(scenarios));
 
     tableHeader("Extension: projected CXL interface vs UPI (64B RPCs, "
                 "single core)",
                 "interface   low-load p50(us)  p99(us)   saturation Mrps");
 
-    struct Row
-    {
-        const char *label;
-        ic::IfaceKind iface;
-        unsigned batch;
-        Point lat;
-        double sat;
-    };
-    Row rows[] = {
-        {"UPI B=1", ic::IfaceKind::Upi, 1, {}, 0},
-        {"UPI B=4", ic::IfaceKind::Upi, 4, {}, 0},
-        {"CXL B=1", ic::IfaceKind::Cxl, 1, {}, 0},
-        {"CXL B=4", ic::IfaceKind::Cxl, 4, {}, 0},
-    };
-
-    for (Row &row : rows) {
-        EchoRig::Options opt;
-        opt.iface = row.iface;
-        opt.batch = row.batch;
-        opt.threads = 1;
-        {
-            EchoRig rig(opt);
-            row.lat = rig.offer(0.5, sim::msToTicks(1), sim::msToTicks(6));
-        }
-        {
-            EchoRig rig(opt);
-            row.sat = rig.saturate(96).mrps;
-        }
-        std::printf("%-11s %15.2f %8.2f %17.2f\n", row.label,
-                    row.lat.p50_us, row.lat.p99_us, row.sat);
+    for (unsigned i = 0; i < 4; ++i) {
+        std::printf("%-11s %15.2f %8.2f %17.2f\n", kRows[i].label,
+                    rows[i].lat.p50_us, rows[i].lat.p99_us, rows[i].sat);
+        ctx.point()
+            .tag("interface", kRows[i].label)
+            .value("lowload_p50_us", rows[i].lat.p50_us)
+            .value("lowload_p99_us", rows[i].lat.p99_us)
+            .value("saturation_mrps", rows[i].sat);
     }
 
-    bool ok = true;
-    ok &= shapeCheck("CXL cuts the B=1 RTT below UPI (one transaction)",
-                     rows[2].lat.p50_us < rows[0].lat.p50_us - 0.2);
-    ok &= shapeCheck("CXL needs no batching to reach UPI-B4 throughput",
-                     rows[2].sat > 0.95 * rows[1].sat);
-    ok &= shapeCheck("CXL B=1 throughput beats UPI B=1 (no bookkeeping)",
-                     rows[2].sat > 1.3 * rows[0].sat);
-    ok &= shapeCheck("batching adds little on top of CXL",
-                     rows[3].lat.p50_us + 0.05 >= rows[2].lat.p50_us);
-    return ok ? 0 : 1;
+    ctx.check("CXL cuts the B=1 RTT below UPI (one transaction)",
+              rows[2].lat.p50_us < rows[0].lat.p50_us - 0.2);
+    ctx.check("CXL needs no batching to reach UPI-B4 throughput",
+              rows[2].sat > 0.95 * rows[1].sat);
+    ctx.check("CXL B=1 throughput beats UPI B=1 (no bookkeeping)",
+              rows[2].sat > 1.3 * rows[0].sat);
+    ctx.check("batching adds little on top of CXL",
+              rows[3].lat.p50_us + 0.05 >= rows[2].lat.p50_us);
+
+    ctx.anchor("cxl_b1_vs_upi_b4_sat_ratio", 1.0,
+               rows[2].sat / rows[1].sat, 0.15);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("ext_cxl_interface", run)

@@ -12,8 +12,11 @@
  * entire former networking budget.
  */
 
+#include <array>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "svc/socialnet.hh"
@@ -185,20 +188,63 @@ class SnOverDagger
     sim::Tick _stopAt = 0;
 };
 
-} // namespace
-
-int
-main()
+/**
+ * Everything the report needs from one side's run.  The TCP scenario
+ * fills net/app; the Dagger scenario fills hop_rtt; both fill
+ * e2e_p50_us.
+ */
+struct SideResult
 {
-    constexpr double kQps = 200;
+    std::array<double, svc::kSnTiers> net{};
+    std::array<double, svc::kSnTiers> app{};
+    std::array<double, 4> hop_rtt{};
+    double e2e_p50_us = 0;
+};
 
-    // Baseline: the §3 characterization over kernel TCP + Thrift.
+constexpr double kQps = 200;
+
+SideResult
+runTcp()
+{
     svc::SocialNet tcp;
     tcp.run(kQps, sim::msToTicks(400));
+    SideResult r;
+    for (unsigned t = 0; t < svc::kSnTiers; ++t) {
+        const auto &b = tcp.tierBreakdown(t);
+        r.net[t] = b.transport.mean() + b.rpc.mean();
+        r.app[t] = b.app.mean();
+    }
+    r.e2e_p50_us = sim::ticksToUs(tcp.e2eLatency().percentile(50));
+    return r;
+}
 
-    // The same tiers over Dagger.
+SideResult
+runDagger()
+{
     SnOverDagger dagger;
     dagger.run(kQps, sim::msToTicks(400));
+    SideResult r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.hop_rtt[i] = dagger.hopRtt(i).mean();
+    r.e2e_p50_us = sim::ticksToUs(dagger.e2e().percentile(50));
+    return r;
+}
+
+void
+run(BenchContext &ctx)
+{
+    ctx.seed(0x536e44);
+    ctx.config("qps", kQps);
+    ctx.config("measure_ms", 400.0);
+
+    std::vector<std::function<SideResult()>> scenarios = {
+        [] { return runTcp(); },
+        [] { return runDagger(); },
+    };
+    const std::vector<SideResult> sides =
+        ctx.runner().run(std::move(scenarios));
+    const SideResult &tcp = sides[0];
+    const SideResult &dag = sides[1];
 
     tableHeader("Extension: Social Network tiers over kernel TCP vs "
                 "over Dagger (QPS=200)",
@@ -211,14 +257,12 @@ main()
     const unsigned fe_slot_of_tier[svc::kSnTiers] = {1, 2, 0, 3, 9, 9};
     double tcp_user_share = 0, dagger_user_share = 0;
     for (unsigned t = 0; t < svc::kSnTiers; ++t) {
-        const auto &b = tcp.tierBreakdown(t);
-        const double net_tcp = b.transport.mean() + b.rpc.mean();
-        const double share_tcp = net_tcp / (net_tcp + b.app.mean());
+        const double net_tcp = tcp.net[t];
+        const double share_tcp = net_tcp / (net_tcp + tcp.app[t]);
 
         double share_dagger = -1;
         if (fe_slot_of_tier[t] < 4) {
-            const double rtt =
-                dagger.hopRtt(fe_slot_of_tier[t]).mean();
+            const double rtt = dag.hop_rtt[fe_slot_of_tier[t]];
             const double app = static_cast<double>(kSpecs[t].compute) +
                 (t == 3 ? static_cast<double>(
                               std::max(kSpecs[4].compute,
@@ -230,28 +274,45 @@ main()
             tcp_user_share = share_tcp;
             dagger_user_share = share_dagger;
         }
-        if (share_dagger >= 0)
+        if (share_dagger >= 0) {
             std::printf("%-15s %16.0f%% %22.0f%%\n", svc::snTierName(t),
                         100 * share_tcp, 100 * share_dagger);
-        else
+            ctx.point()
+                .tag("tier", svc::snTierName(t))
+                .value("tcp_net_share_pct", 100 * share_tcp)
+                .value("dagger_net_share_pct", 100 * share_dagger);
+        } else {
             std::printf("%-15s %16.0f%% %22s\n", svc::snTierName(t),
                         100 * share_tcp, "(nested)");
+            ctx.point()
+                .tag("tier", svc::snTierName(t))
+                .value("tcp_net_share_pct", 100 * share_tcp);
+        }
     }
 
-    const double tcp_e2e = sim::ticksToUs(tcp.e2eLatency().percentile(50));
-    const double dagger_e2e =
-        sim::ticksToUs(dagger.e2e().percentile(50));
+    const double tcp_e2e = tcp.e2e_p50_us;
+    const double dagger_e2e = dag.e2e_p50_us;
     std::printf("e2e p50: %.0f us over TCP vs %.0f us over Dagger "
                 "(%.2fx)\n",
                 tcp_e2e, dagger_e2e, tcp_e2e / dagger_e2e);
+    ctx.point()
+        .tag("tier", "e2e")
+        .value("tcp_p50_us", tcp_e2e)
+        .value("dagger_p50_us", dagger_e2e)
+        .value("speedup_x", tcp_e2e / dagger_e2e);
 
-    bool ok = true;
-    ok &= shapeCheck("User tier: networking-dominated over TCP (~70%+)",
-                     tcp_user_share > 0.6);
-    ok &= shapeCheck("User tier: networking share collapses over Dagger",
-                     dagger_user_share < 0.35 &&
-                         dagger_user_share < tcp_user_share / 2);
-    ok &= shapeCheck("end-to-end latency improves over Dagger",
-                     dagger_e2e < 0.98 * tcp_e2e);
-    return ok ? 0 : 1;
+    ctx.check("User tier: networking-dominated over TCP (~70%+)",
+              tcp_user_share > 0.6);
+    ctx.check("User tier: networking share collapses over Dagger",
+              dagger_user_share < 0.35 &&
+                  dagger_user_share < tcp_user_share / 2);
+    ctx.check("end-to-end latency improves over Dagger",
+              dagger_e2e < 0.98 * tcp_e2e);
+
+    ctx.anchor("tcp_user_net_share_pct", 80.0, 100 * tcp_user_share,
+               0.35);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("ext_socialnet_on_dagger", run)

@@ -13,6 +13,8 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "bench/harness.hh"
@@ -44,18 +46,29 @@ shareOf(const baseline::ServeBreakdown &b, double pct)
     return {100.0 * tcp / total, 100.0 * rpc / total, 100.0 * app / total};
 }
 
-} // namespace
+constexpr double kQps[] = {200.0, 400.0, 600.0, 800.0};
 
-int
-main()
+void
+run(BenchContext &ctx)
 {
-    bool ok = true;
+    ctx.seed(0xbe0c4);
+    ctx.config("measure_ms", 400.0);
+
+    std::vector<std::function<std::shared_ptr<SocialNet>()>> scenarios;
+    for (double qps : kQps)
+        scenarios.push_back([qps] {
+            auto sn = std::make_shared<SocialNet>();
+            sn->run(qps, sim::msToTicks(400));
+            return sn;
+        });
+    const auto runs = ctx.runner().run(std::move(scenarios));
+
     double user_net_low = 0, text_net_low = 0, sum_net_low = 0;
     double text_rpc99_low = 0, text_rpc99_high = 0;
 
-    for (double qps : {200.0, 400.0, 600.0, 800.0}) {
-        SocialNet sn;
-        sn.run(qps, sim::msToTicks(400));
+    for (unsigned q = 0; q < 4; ++q) {
+        const double qps = kQps[q];
+        SocialNet &sn = *runs[q];
 
         std::printf("\n=== Fig. 3 @ QPS=%.0f: %% of latency in "
                     "TCP / RPC / app (median | p99) ===\n",
@@ -69,6 +82,15 @@ main()
                         svc::snTierName(t), med.tcp_pct, med.rpc_pct,
                         med.app_pct, tail.tcp_pct, tail.rpc_pct,
                         tail.app_pct);
+            ctx.point()
+                .value("qps", qps)
+                .tag("tier", svc::snTierName(t))
+                .value("med_tcp_pct", med.tcp_pct)
+                .value("med_rpc_pct", med.rpc_pct)
+                .value("med_app_pct", med.app_pct)
+                .value("p99_tcp_pct", tail.tcp_pct)
+                .value("p99_rpc_pct", tail.rpc_pct)
+                .value("p99_app_pct", tail.app_pct);
             net_sum += med.tcp_pct + med.rpc_pct;
             if (qps == 200) {
                 if (t == 1)
@@ -90,15 +112,18 @@ main()
     }
 
     std::printf("\n");
-    ok &= shapeCheck("networking ~40% of tier latency on average "
-                     "(paper: 40%)",
-                     sum_net_low > 25.0 && sum_net_low < 65.0);
-    ok &= shapeCheck("light User tier is networking-dominated "
-                     "(paper: up to 80%)",
-                     user_net_low > 60.0);
-    ok &= shapeCheck("compute-heavy Text tier is app-dominated",
-                     text_net_low < 30.0);
-    ok &= shapeCheck("RPC-layer share grows with load (queueing, §3.1)",
-                     text_rpc99_high > text_rpc99_low);
-    return ok ? 0 : 1;
+    ctx.check("networking ~40% of tier latency on average (paper: 40%)",
+              sum_net_low > 25.0 && sum_net_low < 65.0);
+    ctx.check("light User tier is networking-dominated (paper: up to 80%)",
+              user_net_low > 60.0);
+    ctx.check("compute-heavy Text tier is app-dominated",
+              text_net_low < 30.0);
+    ctx.check("RPC-layer share grows with load (queueing, §3.1)",
+              text_rpc99_high > text_rpc99_low);
+
+    ctx.anchor("avg_net_fraction_pct", 40.0, sum_net_low, 0.50);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig03_network_fraction", run)

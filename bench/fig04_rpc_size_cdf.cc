@@ -12,27 +12,47 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "svc/socialnet.hh"
 
-int
-main()
-{
-    using namespace dagger;
-    using namespace dagger::bench;
+namespace {
 
-    svc::SocialNet sn;
-    sn.run(400, sim::msToTicks(500));
+using namespace dagger;
+using namespace dagger::bench;
+using svc::SocialNet;
+
+void
+run(BenchContext &ctx)
+{
+    ctx.seed(0xbe0c4);
+    ctx.config("qps", 400.0);
+    ctx.config("measure_ms", 500.0);
+
+    std::vector<std::function<std::shared_ptr<SocialNet>()>> scenarios;
+    scenarios.push_back([] {
+        auto sn = std::make_shared<SocialNet>();
+        sn->run(400, sim::msToTicks(500));
+        return sn;
+    });
+    const auto runs = ctx.runner().run(std::move(scenarios));
+    const SocialNet &sn = *runs[0];
 
     tableHeader("Fig. 4 (left): CDF of RPC sizes",
                 "percentile   request(B)   response(B)");
     for (double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        const auto req = sn.allRequestSizes().percentile(pct);
+        const auto rsp = sn.allResponseSizes().percentile(pct);
         std::printf("%9.0f%% %12llu %13llu\n", pct,
-                    static_cast<unsigned long long>(
-                        sn.allRequestSizes().percentile(pct)),
-                    static_cast<unsigned long long>(
-                        sn.allResponseSizes().percentile(pct)));
+                    static_cast<unsigned long long>(req),
+                    static_cast<unsigned long long>(rsp));
+        ctx.point()
+            .value("percentile", pct)
+            .value("request_bytes", static_cast<double>(req))
+            .value("response_bytes", static_cast<double>(rsp));
     }
 
     tableHeader("Fig. 4 (right): per-service request sizes",
@@ -43,23 +63,33 @@ main()
                     static_cast<unsigned long long>(h.percentile(50)),
                     static_cast<unsigned long long>(h.percentile(99)),
                     static_cast<unsigned long long>(h.max()));
+        ctx.point()
+            .tag("tier", svc::snTierName(t))
+            .value("p50_bytes", static_cast<double>(h.percentile(50)))
+            .value("p99_bytes", static_cast<double>(h.percentile(99)))
+            .value("max_bytes", static_cast<double>(h.max()));
     }
 
-    bool ok = true;
-    ok &= shapeCheck("75% of requests are < 512B (paper)",
-                     sn.allRequestSizes().percentile(75) < 512);
-    ok &= shapeCheck(">90% of responses are <= 64B (paper)",
-                     sn.allResponseSizes().percentile(90) <= 64 + 6);
+    ctx.check("75% of requests are < 512B (paper)",
+              sn.allRequestSizes().percentile(75) < 512);
+    ctx.check(">90% of responses are <= 64B (paper)",
+              sn.allResponseSizes().percentile(90) <= 64 + 6);
     const auto text_med = sn.requestSize(3).percentile(50);
-    ok &= shapeCheck("Text's median RPC ~580B (paper)",
-                     text_med > 400 && text_med < 800);
-    ok &= shapeCheck("Media/User/UniqueID never exceed 64B (paper)",
-                     sn.requestSize(0).max() <= 64 &&
-                         sn.requestSize(1).max() <= 64 &&
-                         sn.requestSize(2).max() <= 64);
-    ok &= shapeCheck("size diversity across tiers (one-size-fits-all is "
-                     "a poor fit, §3.2)",
-                     sn.requestSize(3).percentile(50) >
-                         8 * sn.requestSize(1).percentile(50));
-    return ok ? 0 : 1;
+    ctx.check("Text's median RPC ~580B (paper)",
+              text_med > 400 && text_med < 800);
+    ctx.check("Media/User/UniqueID never exceed 64B (paper)",
+              sn.requestSize(0).max() <= 64 &&
+                  sn.requestSize(1).max() <= 64 &&
+                  sn.requestSize(2).max() <= 64);
+    ctx.check("size diversity across tiers (one-size-fits-all is "
+              "a poor fit, §3.2)",
+              sn.requestSize(3).percentile(50) >
+                  8 * sn.requestSize(1).percentile(50));
+
+    ctx.anchor("text_median_rpc_bytes", 580.0,
+               static_cast<double>(text_med), 0.40);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig04_rpc_size_cdf", run)

@@ -11,58 +11,87 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench/harness.hh"
 #include "svc/socialnet.hh"
 
-int
-main()
+namespace {
+
+using namespace dagger;
+using namespace dagger::bench;
+
+struct Pair
 {
-    using namespace dagger;
-    using namespace dagger::bench;
+    double iso_p50 = 0, iso_p99 = 0, col_p50 = 0, col_p99 = 0;
+};
+
+constexpr double kQps[] = {200.0, 400.0, 600.0};
+
+Pair
+runBoth(double qps)
+{
+    svc::SocialNetConfig iso_cfg;
+    iso_cfg.colocatedNetworking = false;
+    svc::SocialNet iso(iso_cfg);
+    iso.run(qps, sim::msToTicks(600));
+
+    svc::SocialNetConfig col_cfg;
+    col_cfg.colocatedNetworking = true;
+    svc::SocialNet col(col_cfg);
+    col.run(qps, sim::msToTicks(600));
+
+    Pair p;
+    p.iso_p50 = sim::ticksToUs(iso.e2eLatency().percentile(50));
+    p.iso_p99 = sim::ticksToUs(iso.e2eLatency().percentile(99));
+    p.col_p50 = sim::ticksToUs(col.e2eLatency().percentile(50));
+    p.col_p99 = sim::ticksToUs(col.e2eLatency().percentile(99));
+    return p;
+}
+
+void
+run(BenchContext &ctx)
+{
+    ctx.seed(0xbe0c4);
+    ctx.config("measure_ms", 600.0);
+
+    std::vector<std::function<Pair()>> scenarios;
+    for (double qps : kQps)
+        scenarios.push_back([qps] { return runBoth(qps); });
+    const std::vector<Pair> rows = ctx.runner().run(std::move(scenarios));
 
     tableHeader("Fig. 5: isolated vs colocated network processing",
                 "QPS    isolated p50/p99 (us)     colocated p50/p99 (us)"
                 "   p99 ratio");
 
-    struct Pair
-    {
-        double iso_p50, iso_p99, col_p50, col_p99;
-    };
-    std::vector<Pair> rows;
-
-    for (double qps : {200.0, 400.0, 600.0}) {
-        svc::SocialNetConfig iso_cfg;
-        iso_cfg.colocatedNetworking = false;
-        svc::SocialNet iso(iso_cfg);
-        iso.run(qps, sim::msToTicks(600));
-
-        svc::SocialNetConfig col_cfg;
-        col_cfg.colocatedNetworking = true;
-        svc::SocialNet col(col_cfg);
-        col.run(qps, sim::msToTicks(600));
-
-        Pair p;
-        p.iso_p50 = sim::ticksToUs(iso.e2eLatency().percentile(50));
-        p.iso_p99 = sim::ticksToUs(iso.e2eLatency().percentile(99));
-        p.col_p50 = sim::ticksToUs(col.e2eLatency().percentile(50));
-        p.col_p99 = sim::ticksToUs(col.e2eLatency().percentile(99));
-        rows.push_back(p);
-        std::printf("%4.0f %12.0f / %-8.0f %14.0f / %-8.0f %8.2fx\n", qps,
-                    p.iso_p50, p.iso_p99, p.col_p50, p.col_p99,
+    for (unsigned q = 0; q < 3; ++q) {
+        const Pair &p = rows[q];
+        std::printf("%4.0f %12.0f / %-8.0f %14.0f / %-8.0f %8.2fx\n",
+                    kQps[q], p.iso_p50, p.iso_p99, p.col_p50, p.col_p99,
                     p.col_p99 / p.iso_p99);
+        ctx.point()
+            .value("qps", kQps[q])
+            .value("iso_p50_us", p.iso_p50)
+            .value("iso_p99_us", p.iso_p99)
+            .value("col_p50_us", p.col_p50)
+            .value("col_p99_us", p.col_p99);
     }
 
-    bool ok = true;
-    ok &= shapeCheck("colocation hurts the tail at every load",
-                     rows[0].col_p99 > rows[0].iso_p99 &&
-                         rows[1].col_p99 > rows[1].iso_p99 &&
-                         rows[2].col_p99 > rows[2].iso_p99);
-    ok &= shapeCheck("colocation hurts the median too",
-                     rows[2].col_p50 > rows[2].iso_p50);
-    ok &= shapeCheck("interference grows with load (tail ratio)",
-                     rows[2].col_p99 / rows[2].iso_p99 >
-                         rows[0].col_p99 / rows[0].iso_p99);
-    return ok ? 0 : 1;
+    ctx.check("colocation hurts the tail at every load",
+              rows[0].col_p99 > rows[0].iso_p99 &&
+                  rows[1].col_p99 > rows[1].iso_p99 &&
+                  rows[2].col_p99 > rows[2].iso_p99);
+    ctx.check("colocation hurts the median too",
+              rows[2].col_p50 > rows[2].iso_p50);
+    ctx.check("interference grows with load (tail ratio)",
+              rows[2].col_p99 / rows[2].iso_p99 >
+                  rows[0].col_p99 / rows[0].iso_p99);
+
+    ctx.anchor("colocated_tail_inflation_x", 2.0,
+               rows[2].col_p99 / rows[2].iso_p99, 0.80);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig05_interference", run)

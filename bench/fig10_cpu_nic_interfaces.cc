@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench/harness.hh"
 
@@ -36,39 +38,33 @@ constexpr Config kConfigs[] = {
     {"UPI B=1", ic::IfaceKind::Upi, 1, 8.1, 1.8, 2.0},
     {"UPI B=4", ic::IfaceKind::Upi, 4, 12.4, 2.4, 3.1},
 };
+constexpr unsigned kNumConfigs = 7;
 
-} // namespace
-
-int
-main()
+void
+run(BenchContext &ctx)
 {
-    tableHeader("Fig. 10: single-core throughput & latency per CPU-NIC "
-                "interface (64B RPCs)",
-                "config            paper: Mrps  p50    p99   | measured: "
-                "Mrps   p50    p99");
+    ctx.seed(0xbe0c4);
+    ctx.config("payload_bytes", 48.0);
 
-    std::vector<Point> points;
-    for (const Config &cfg : kConfigs) {
-        EchoRig::Options opt;
-        opt.iface = cfg.iface;
-        opt.batch = cfg.batch;
-        opt.threads = 1;
-        // Saturation throughput: deep closed-loop pipeline.
-        EchoRig rig(opt);
-        Point sat = rig.saturate(/*window=*/96);
-        // Latency: a fresh rig at a high-but-stable open-loop load
-        // (75% of saturation), the paper's operating regime.
-        EchoRig lat_rig(opt);
-        Point p = lat_rig.offer(0.6 * sat.mrps);
-        p.mrps = sat.mrps;
-        points.push_back(p);
-        std::printf("%-17s %10.1f %5.1f %6.1f  | %13.1f %6.2f %6.2f\n",
-                    cfg.label, cfg.paper_mrps, cfg.paper_p50, cfg.paper_p99,
-                    p.mrps, p.p50_us, p.p99_us);
-    }
-
+    std::vector<std::function<Point()>> scenarios;
+    for (const Config &cfg : kConfigs)
+        scenarios.push_back([cfg] {
+            EchoRig::Options opt;
+            opt.iface = cfg.iface;
+            opt.batch = cfg.batch;
+            opt.threads = 1;
+            // Saturation throughput: deep closed-loop pipeline.
+            EchoRig rig(opt);
+            Point sat = rig.saturate(/*window=*/96);
+            // Latency: a fresh rig at a high-but-stable open-loop load
+            // (75% of saturation), the paper's operating regime.
+            EchoRig lat_rig(opt);
+            Point p = lat_rig.offer(0.6 * sat.mrps);
+            p.mrps = sat.mrps;
+            return p;
+        });
     // Best-effort peak (§5.3: 16.5 Mrps with arbitrary drops allowed).
-    {
+    scenarios.push_back([] {
         EchoRig::Options opt;
         opt.iface = ic::IfaceKind::Upi;
         opt.batch = 4;
@@ -76,33 +72,72 @@ main()
         opt.serverCost = 0;
         opt.bestEffort = true;
         EchoRig rig(opt);
-        Point p = rig.floodPeak();
+        return rig.floodPeak();
+    });
+    const std::vector<Point> results =
+        ctx.runner().run(std::move(scenarios));
+
+    tableHeader("Fig. 10: single-core throughput & latency per CPU-NIC "
+                "interface (64B RPCs)",
+                "config            paper: Mrps  p50    p99   | measured: "
+                "Mrps   p50    p99");
+
+    std::vector<Point> points(results.begin(),
+                              results.begin() + kNumConfigs);
+    for (unsigned i = 0; i < kNumConfigs; ++i) {
+        const Config &cfg = kConfigs[i];
+        const Point &p = points[i];
+        std::printf("%-17s %10.1f %5.1f %6.1f  | %13.1f %6.2f %6.2f\n",
+                    cfg.label, cfg.paper_mrps, cfg.paper_p50,
+                    cfg.paper_p99, p.mrps, p.p50_us, p.p99_us);
+        ctx.point()
+            .tag("config", cfg.label)
+            .value("mrps", p.mrps)
+            .value("p50_us", p.p50_us)
+            .value("p99_us", p.p99_us)
+            .value("paper_mrps", cfg.paper_mrps);
+    }
+    {
+        const Point &p = results[kNumConfigs];
         std::printf("%-17s %10.1f %5s %6s  | %13.1f %6s %6s  "
                     "(drops %.0f%%)\n",
                     "best-effort peak", 16.5, "-", "-", p.mrps, "-", "-",
                     100.0 * p.drops);
+        ctx.point()
+            .tag("config", "best-effort peak")
+            .value("mrps", p.mrps)
+            .value("drops", p.drops)
+            .value("paper_mrps", 16.5);
     }
 
-    bool ok = true;
     // The paper's qualitative claims.
-    ok &= shapeCheck("UPI B=4 is the fastest interface",
-                     points[6].mrps > points[4].mrps &&
-                         points[6].mrps > points[0].mrps);
-    ok &= shapeCheck("UPI beats doorbell batching in latency",
-                     points[5].p50_us < points[2].p50_us &&
-                         points[6].p50_us < points[4].p50_us);
-    ok &= shapeCheck("MMIO is the lowest-latency PCIe scheme",
-                     points[0].p50_us < points[1].p50_us);
-    ok &= shapeCheck("MMIO fails to deliver throughput",
-                     points[0].mrps < 0.6 * points[6].mrps);
-    ok &= shapeCheck("doorbell batching trades latency for throughput",
-                     points[4].mrps > points[1].mrps &&
-                         points[4].p99_us > points[1].p99_us);
-    ok &= shapeCheck("UPI B=1 ~8 Mrps per core (paper 8.1)",
-                     points[5].mrps > 6.5 && points[5].mrps < 9.7);
-    ok &= shapeCheck("UPI B=4 ~12.4 Mrps per core (paper 12.4)",
-                     points[6].mrps > 10.5 && points[6].mrps < 14.3);
-    ok &= shapeCheck("UPI B=1 median RTT ~1.8us",
-                     points[5].p50_us > 1.2 && points[5].p50_us < 2.8);
-    return ok ? 0 : 1;
+    ctx.check("UPI B=4 is the fastest interface",
+              points[6].mrps > points[4].mrps &&
+                  points[6].mrps > points[0].mrps);
+    ctx.check("UPI beats doorbell batching in latency",
+              points[5].p50_us < points[2].p50_us &&
+                  points[6].p50_us < points[4].p50_us);
+    ctx.check("MMIO is the lowest-latency PCIe scheme",
+              points[0].p50_us < points[1].p50_us);
+    ctx.check("MMIO fails to deliver throughput",
+              points[0].mrps < 0.6 * points[6].mrps);
+    ctx.check("doorbell batching trades latency for throughput",
+              points[4].mrps > points[1].mrps &&
+                  points[4].p99_us > points[1].p99_us);
+    ctx.check("UPI B=1 ~8 Mrps per core (paper 8.1)",
+              points[5].mrps > 6.5 && points[5].mrps < 9.7);
+    ctx.check("UPI B=4 ~12.4 Mrps per core (paper 12.4)",
+              points[6].mrps > 10.5 && points[6].mrps < 14.3);
+    ctx.check("UPI B=1 median RTT ~1.8us",
+              points[5].p50_us > 1.2 && points[5].p50_us < 2.8);
+
+    ctx.anchor("upi_b1_mrps", 8.1, points[5].mrps, 0.25);
+    ctx.anchor("upi_b4_mrps", 12.4, points[6].mrps, 0.20);
+    ctx.anchor("upi_b1_p50_us", 1.8, points[5].p50_us, 0.45);
+    ctx.anchor("best_effort_peak_mrps", 16.5, results[kNumConfigs].mrps,
+               0.30);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig10_cpu_nic_interfaces", run)

@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench/harness.hh"
@@ -72,38 +73,65 @@ rawUpiMrps(unsigned threads)
     return sim::ratePerSec(completed - c0, sim::msToTicks(5)) / 1e6;
 }
 
-} // namespace
-
-int
-main()
+struct Row
 {
+    double e2e = 0;
+    double raw = 0;
+};
+
+void
+run(BenchContext &ctx)
+{
+    ctx.seed(0xbe0c4);
+    ctx.config("batch", 4.0);
+    ctx.config("payload_bytes", 48.0);
+
+    std::vector<std::function<Row()>> scenarios;
+    for (unsigned t = 1; t <= 8; ++t)
+        scenarios.push_back([t] {
+            EchoRig::Options opt;
+            opt.batch = 4;
+            opt.threads = t;
+            EchoRig rig(opt);
+            const Point p = rig.saturate(/*window=*/96,
+                                         sim::msToTicks(2),
+                                         sim::msToTicks(6));
+            Row r;
+            r.e2e = p.mrps;
+            r.raw = rawUpiMrps(t);
+            return r;
+        });
+    const std::vector<Row> rows = ctx.runner().run(std::move(scenarios));
+
     tableHeader("Fig. 11 (right): thread scaling, 64B requests",
                 "threads  e2e RPC (Mrps)   raw UPI reads (Mrps)");
 
     std::vector<double> e2e, raw;
     for (unsigned t = 1; t <= 8; ++t) {
-        EchoRig::Options opt;
-        opt.batch = 4;
-        opt.threads = t;
-        EchoRig rig(opt);
-        Point p = rig.saturate(/*window=*/96, sim::msToTicks(2),
-                               sim::msToTicks(6));
-        const double r = rawUpiMrps(t);
-        e2e.push_back(p.mrps);
-        raw.push_back(r);
-        std::printf("%7u %15.1f %22.1f\n", t, p.mrps, r);
+        const Row &r = rows[t - 1];
+        e2e.push_back(r.e2e);
+        raw.push_back(r.raw);
+        std::printf("%7u %15.1f %22.1f\n", t, r.e2e, r.raw);
+        ctx.point()
+            .value("threads", t)
+            .value("e2e_mrps", r.e2e)
+            .value("raw_upi_mrps", r.raw);
     }
 
-    bool ok = true;
-    ok &= shapeCheck("e2e scales up through 4 threads",
-                     e2e[3] > 2.5 * e2e[0]);
-    ok &= shapeCheck("e2e flattens near 42 Mrps (UPI endpoint bound)",
-                     e2e[7] < 1.15 * e2e[3] && e2e[7] > 30 && e2e[7] < 52);
-    ok &= shapeCheck("raw UPI reads scale further than e2e",
-                     raw[6] > 1.4 * e2e[7]);
-    ok &= shapeCheck("raw reads flatten near 80 Mrps by 7-8 threads",
-                     raw[7] < 1.1 * raw[6] && raw[6] > 65 && raw[6] < 95);
-    ok &= shapeCheck("1->2 threads scales near-linearly (paper: linear to 4)",
-                     e2e[1] > 1.8 * e2e[0]);
-    return ok ? 0 : 1;
+    ctx.check("e2e scales up through 4 threads", e2e[3] > 2.5 * e2e[0]);
+    ctx.check("e2e flattens near 42 Mrps (UPI endpoint bound)",
+              e2e[7] < 1.15 * e2e[3] && e2e[7] > 30 && e2e[7] < 52);
+    ctx.check("raw UPI reads scale further than e2e",
+              raw[6] > 1.4 * e2e[7]);
+    ctx.check("raw reads flatten near 80 Mrps by 7-8 threads",
+              raw[7] < 1.1 * raw[6] && raw[6] > 65 && raw[6] < 95);
+    ctx.check("1->2 threads scales near-linearly (paper: linear to 4)",
+              e2e[1] > 1.8 * e2e[0]);
+
+    ctx.anchor("e2e_flat_mrps", 42.0, e2e[7], 0.30);
+    ctx.anchor("raw_upi_7t_mrps", 80.0, raw[6], 0.30);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig11_thread_scaling", run)

@@ -182,75 +182,109 @@ runMemcached(DatasetShape shape)
     return result;
 }
 
-} // namespace
-
-int
-main()
+void
+run(BenchContext &ctx)
 {
-    tableHeader("Fig. 12: memcached and MICA over Dagger (single core)",
-                "system      paper: p50  p99  thr50%GET thr95%GET | "
-                "measured: p50   p99  thr50  thr95");
+    ctx.seed(0xbe0c4);
+    ctx.config("mcd_keys", static_cast<double>(kMcdKeys));
+    ctx.config("mica_keys", static_cast<double>(kMicaKeys));
 
     struct Row
     {
         const char *label;
         double paper_p50, paper_p99, paper_t50, paper_t95;
-        KvsResult r;
     };
 
-    Row rows[] = {
-        {"mcd-tiny", 2.8, 6.9, 0.6, 1.5, runMemcached(kTiny)},
-        {"mcd-small", 3.2, 7.8, 0.6, 1.5, runMemcached(kSmall)},
-        {"mica-tiny", 3.4, 5.4, 4.7, 5.2, runMica(kTiny, 0.99)},
-        {"mica-small", 3.5, 5.7, 4.3, 5.0, runMica(kSmall, 0.99)},
+    const Row rows[] = {
+        {"mcd-tiny", 2.8, 6.9, 0.6, 1.5},
+        {"mcd-small", 3.2, 7.8, 0.6, 1.5},
+        {"mica-tiny", 3.4, 5.4, 4.7, 5.2},
+        {"mica-small", 3.5, 5.7, 4.3, 5.0},
     };
 
-    for (const Row &row : rows) {
+    // The four Fig. 12 rows plus the §5.6 high-skew MICA run, all
+    // independent full-system simulations.
+    std::vector<std::function<KvsResult()>> scenarios = {
+        [] { return runMemcached(kTiny); },
+        [] { return runMemcached(kSmall); },
+        [] { return runMica(kTiny, 0.99); },
+        [] { return runMica(kSmall, 0.99); },
+        [] { return runMica(kTiny, 0.9999); },
+    };
+    const std::vector<KvsResult> results =
+        ctx.runner().run(std::move(scenarios));
+
+    tableHeader("Fig. 12: memcached and MICA over Dagger (single core)",
+                "system      paper: p50  p99  thr50%GET thr95%GET | "
+                "measured: p50   p99  thr50  thr95");
+
+    for (unsigned i = 0; i < 4; ++i) {
+        const Row &row = rows[i];
+        const KvsResult &r = results[i];
         std::printf("%-11s %9.1f %5.1f %8.1f %9.1f | %12.2f %5.2f %6.2f "
                     "%6.2f\n",
                     row.label, row.paper_p50, row.paper_p99, row.paper_t50,
-                    row.paper_t95, row.r.write_intense.p50_us,
-                    row.r.write_intense.p99_us, row.r.write_intense.mrps,
-                    row.r.read_intense.mrps);
+                    row.paper_t95, r.write_intense.p50_us,
+                    r.write_intense.p99_us, r.write_intense.mrps,
+                    r.read_intense.mrps);
+        ctx.point()
+            .tag("system", row.label)
+            .value("p50_us", r.write_intense.p50_us)
+            .value("p99_us", r.write_intense.p99_us)
+            .value("mrps_50get", r.write_intense.mrps)
+            .value("mrps_95get", r.read_intense.mrps);
     }
 
     // §5.6 high-skew MICA runs: "with such a workload, Dagger achieves
     // a throughput of 10.2 Mrps and 9.8 Mrps for read- and
     // write-intensive workloads".
-    KvsResult hi = runMica(kTiny, 0.9999);
+    const KvsResult &hi = results[4];
     std::printf("%-11s %9s %5s %8.1f %9.1f | %12.2f %5.2f %6.2f %6.2f\n",
                 "mica-0.9999", "-", "-", 9.8, 10.2,
                 hi.write_intense.p50_us, hi.write_intense.p99_us,
                 hi.write_intense.mrps, hi.read_intense.mrps);
+    ctx.point()
+        .tag("system", "mica-0.9999")
+        .value("p50_us", hi.write_intense.p50_us)
+        .value("p99_us", hi.write_intense.p99_us)
+        .value("mrps_50get", hi.write_intense.mrps)
+        .value("mrps_95get", hi.read_intense.mrps);
 
-    bool ok = true;
-    ok &= shapeCheck("MICA sustains several x memcached's throughput",
-                     rows[2].r.read_intense.mrps >
-                         3.0 * rows[0].r.read_intense.mrps);
-    ok &= shapeCheck("memcached ~0.6 Mrps at 50% GET (paper 0.6)",
-                     rows[0].r.write_intense.mrps > 0.3 &&
-                         rows[0].r.write_intense.mrps < 1.2);
-    ok &= shapeCheck("MICA tiny ~4.7 Mrps at 50% GET (paper 4.7)",
-                     rows[2].r.write_intense.mrps > 3.4 &&
-                         rows[2].r.write_intense.mrps < 6.2);
-    ok &= shapeCheck("read-intensive mixes beat write-intensive",
-                     rows[2].r.read_intense.mrps >
-                         rows[2].r.write_intense.mrps &&
-                         rows[0].r.read_intense.mrps >
-                             rows[0].r.write_intense.mrps);
-    ok &= shapeCheck("KVS access latency stays in the us range "
-                     "(paper 2.8-3.5 p50)",
-                     rows[2].r.write_intense.p50_us < 8.0 &&
-                         rows[0].r.write_intense.p50_us < 16.0);
+    ctx.check("MICA sustains several x memcached's throughput",
+              results[2].read_intense.mrps >
+                  3.0 * results[0].read_intense.mrps);
+    ctx.check("memcached ~0.6 Mrps at 50% GET (paper 0.6)",
+              results[0].write_intense.mrps > 0.3 &&
+                  results[0].write_intense.mrps < 1.2);
+    ctx.check("MICA tiny ~4.7 Mrps at 50% GET (paper 4.7)",
+              results[2].write_intense.mrps > 3.4 &&
+                  results[2].write_intense.mrps < 6.2);
+    ctx.check("read-intensive mixes beat write-intensive",
+              results[2].read_intense.mrps >
+                  results[2].write_intense.mrps &&
+                  results[0].read_intense.mrps >
+                      results[0].write_intense.mrps);
+    ctx.check("KVS access latency stays in the us range "
+              "(paper 2.8-3.5 p50)",
+              results[2].write_intense.p50_us < 8.0 &&
+                  results[0].write_intense.p50_us < 16.0);
     // With a YCSB-style analytic Zipf, theta 0.99 -> 0.9999 changes
     // cache locality only marginally (the top-k mass ratio moves by
     // ~2%), so the paper's ~2x gain is not reproducible from the
     // distribution alone; see EXPERIMENTS.md.  We check direction.
-    ok &= shapeCheck("higher skew (0.9999) does not reduce throughput",
-                     hi.read_intense.mrps >=
-                         0.97 * rows[2].r.read_intense.mrps);
-    ok &= shapeCheck("tiny >= small throughput (smaller requests)",
-                     rows[2].r.write_intense.mrps >=
-                         0.95 * rows[3].r.write_intense.mrps);
-    return ok ? 0 : 1;
+    ctx.check("higher skew (0.9999) does not reduce throughput",
+              hi.read_intense.mrps >=
+                  0.97 * results[2].read_intense.mrps);
+    ctx.check("tiny >= small throughput (smaller requests)",
+              results[2].write_intense.mrps >=
+                  0.95 * results[3].write_intense.mrps);
+
+    ctx.anchor("mcd_tiny_mrps_50get", 0.6, results[0].write_intense.mrps,
+               0.50);
+    ctx.anchor("mica_tiny_mrps_50get", 4.7,
+               results[2].write_intense.mrps, 0.30);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig12_kvs", run)

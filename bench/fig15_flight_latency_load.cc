@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench/harness.hh"
@@ -22,54 +23,74 @@ using namespace dagger::bench;
 
 struct LoadPoint
 {
-    double krps;
-    double p50, p90, p99;
-    double drops;
+    double krps = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    double drops = 0;
 };
 
-} // namespace
+constexpr double kLoads[] = {5.0, 10.0, 15.0, 20.0, 25.0,
+                             30.0, 35.0, 40.0, 45.0, 50.0};
 
-int
-main()
+void
+run(BenchContext &ctx)
 {
+    ctx.seed(0xbe0c4);
+    ctx.config("staff_read_rate", 500.0);
+    ctx.config("measure_ms", 80.0);
+
+    std::vector<std::function<LoadPoint()>> scenarios;
+    for (double krps : kLoads)
+        scenarios.push_back([krps] {
+            svc::FlightConfig cfg;
+            cfg.model = svc::ThreadingModel::Optimized;
+            cfg.staffReadRate = 500;
+            svc::FlightApp app(cfg);
+            app.run(krps, sim::msToTicks(80));
+            LoadPoint p;
+            p.krps = krps;
+            p.p50 = sim::ticksToUs(app.e2eLatency().percentile(50));
+            p.p90 = sim::ticksToUs(app.e2eLatency().percentile(90));
+            p.p99 = sim::ticksToUs(app.e2eLatency().percentile(99));
+            p.drops = 100.0 * app.dropRate();
+            return p;
+        });
+    const std::vector<LoadPoint> points =
+        ctx.runner().run(std::move(scenarios));
+
     tableHeader("Fig. 15: Flight Registration latency vs load "
                 "(Optimized threading)",
                 "load(Krps)   p50(us)   p90(us)   p99(us)  drop%");
 
-    std::vector<LoadPoint> points;
-    for (double krps : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0,
-                        45.0, 50.0}) {
-        svc::FlightConfig cfg;
-        cfg.model = svc::ThreadingModel::Optimized;
-        cfg.staffReadRate = 500;
-        svc::FlightApp app(cfg);
-        app.run(krps, sim::msToTicks(80));
-        LoadPoint p;
-        p.krps = krps;
-        p.p50 = sim::ticksToUs(app.e2eLatency().percentile(50));
-        p.p90 = sim::ticksToUs(app.e2eLatency().percentile(90));
-        p.p99 = sim::ticksToUs(app.e2eLatency().percentile(99));
-        p.drops = 100.0 * app.dropRate();
-        points.push_back(p);
-        std::printf("%10.1f %9.1f %9.1f %9.1f %6.2f\n", krps, p.p50, p.p90,
-                    p.p99, p.drops);
+    for (const LoadPoint &p : points) {
+        std::printf("%10.1f %9.1f %9.1f %9.1f %6.2f\n", p.krps, p.p50,
+                    p.p90, p.p99, p.drops);
+        ctx.point()
+            .value("krps", p.krps)
+            .value("p50_us", p.p50)
+            .value("p90_us", p.p90)
+            .value("p99_us", p.p99)
+            .value("drop_pct", p.drops);
     }
 
     // Identify the pre-saturation region (tail still bounded).
-    const LoadPoint &low = points[1];       // 10 Krps
-    const LoadPoint &mid = points[3];       // 20 Krps
-    const LoadPoint &post_sat = points[5];  // 30 Krps (just past knee)
+    const LoadPoint &low = points[1];      // 10 Krps
+    const LoadPoint &mid = points[3];      // 20 Krps
+    const LoadPoint &post_sat = points[5]; // 30 Krps (just past knee)
     const LoadPoint &high = points.back();
 
-    bool ok = true;
-    ok &= shapeCheck("pre-saturation median stays in the ~20-30us band",
-                     low.p50 > 8.0 && low.p50 < 40.0 && mid.p50 < 45.0);
-    ok &= shapeCheck("tail soars past the saturation point",
-                     high.p99 > 3.0 * mid.p99);
-    ok &= shapeCheck("just past saturation the median holds while the "
-                     "tail soars (paper: 23-26us median)",
-                     post_sat.p50 < 45.0 && post_sat.p99 > 20.0 * post_sat.p50);
-    ok &= shapeCheck("drops appear only at/after saturation",
-                     low.drops < 1.0 && mid.drops < 1.0);
-    return ok ? 0 : 1;
+    ctx.check("pre-saturation median stays in the ~20-30us band",
+              low.p50 > 8.0 && low.p50 < 40.0 && mid.p50 < 45.0);
+    ctx.check("tail soars past the saturation point",
+              high.p99 > 3.0 * mid.p99);
+    ctx.check("just past saturation the median holds while the "
+              "tail soars (paper: 23-26us median)",
+              post_sat.p50 < 45.0 && post_sat.p99 > 20.0 * post_sat.p50);
+    ctx.check("drops appear only at/after saturation",
+              low.drops < 1.0 && mid.drops < 1.0);
+
+    ctx.anchor("presat_p50_us", 23.0, mid.p50, 0.60);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("fig15_flight_latency_load", run)

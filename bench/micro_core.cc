@@ -5,9 +5,17 @@
  * MICA partition, and a full simulated-RPC step.  These guard the
  * *simulator's* performance — a slow DES makes the figure harnesses
  * above impractical — and double as regression anchors.
+ *
+ * This binary wraps google-benchmark in the shared bench harness for
+ * flag parsing and --json export, but deliberately does NOT run the
+ * timed loops through SweepRunner: concurrent wall-clock timing on a
+ * shared machine would distort the numbers the binary exists to guard.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "app/mica.hh"
 #include "bench/harness.hh"
@@ -113,6 +121,65 @@ BM_SimulatedRpcEndToEnd(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatedRpcEndToEnd);
 
+/** Console output as usual, plus every run recorded as a JSON point. */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CapturingReporter(bench::BenchContext &ctx) : _ctx(ctx) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            auto &p = _ctx.point();
+            p.tag("name", run.benchmark_name())
+                .value("real_time", run.GetAdjustedRealTime())
+                .value("cpu_time", run.GetAdjustedCPUTime())
+                .tag("time_unit",
+                     benchmark::GetTimeUnitString(run.time_unit))
+                .value("iterations",
+                       static_cast<double>(run.iterations));
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                p.value("items_per_second", it->second);
+            it = run.counters.find("bytes_per_second");
+            if (it != run.counters.end())
+                p.value("bytes_per_second", it->second);
+        }
+    }
+
+  private:
+    bench::BenchContext &_ctx;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::BenchContext ctx("micro_core", argc, argv);
+
+    // Strip the harness's flags so google-benchmark only sees its own.
+    std::vector<char *> bm_argv;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--strict")
+            continue;
+        if (a == "--jobs" || a == "--json") {
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                ++i; // consume the value
+            continue;
+        }
+        if (a.rfind("--jobs=", 0) == 0 || a.rfind("--json=", 0) == 0)
+            continue;
+        bm_argv.push_back(argv[i]);
+    }
+    int bm_argc = static_cast<int>(bm_argv.size());
+    benchmark::Initialize(&bm_argc, bm_argv.data());
+
+    CapturingReporter reporter(ctx);
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+    ctx.check("all micro-benchmark families ran", ran >= 6);
+    return ctx.finish();
+}

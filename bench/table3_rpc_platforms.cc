@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "baseline/soft_rpc_node.hh"
 #include "baseline/soft_stack.hh"
@@ -119,15 +121,11 @@ runDagger()
     return p;
 }
 
-} // namespace
-
-int
-main()
+void
+run(BenchContext &ctx)
 {
-    tableHeader("Table 3: median RTT and single-core RPC throughput vs "
-                "related systems",
-                "system    objects   TOR     paper: RTT(us) Thr(Mrps) | "
-                "measured: RTT(us) Thr(Mrps)");
+    ctx.seed(0xbe0c4);
+    ctx.config("payload_bytes", 64.0);
 
     struct Row
     {
@@ -136,22 +134,34 @@ main()
         const char *tor;
         double paper_rtt;
         double paper_thr; // <0: not reported
-        Point p;
     };
 
-    Row rows[] = {
-        {"IX", "64B msg", "N/A", 11.4, 1.5,
-         runBaseline(baseline::SoftStack::DpdkIx)},
-        {"FaSST", "48B RPC", "0.3us", 2.8, 4.8,
-         runBaseline(baseline::SoftStack::RdmaFasst)},
-        {"eRPC", "32B RPC", "0.3us", 2.3, 4.96,
-         runBaseline(baseline::SoftStack::Erpc)},
-        {"NetDIMM", "64B msg", "0.1us", 2.2, -1,
-         runBaseline(baseline::SoftStack::NetDimm)},
-        {"Dagger", "64B RPC", "0.3us", 2.1, 12.4, runDagger()},
+    const Row rows[] = {
+        {"IX", "64B msg", "N/A", 11.4, 1.5},
+        {"FaSST", "48B RPC", "0.3us", 2.8, 4.8},
+        {"eRPC", "32B RPC", "0.3us", 2.3, 4.96},
+        {"NetDIMM", "64B msg", "0.1us", 2.2, -1},
+        {"Dagger", "64B RPC", "0.3us", 2.1, 12.4},
     };
 
-    for (const Row &r : rows) {
+    std::vector<std::function<Point()>> scenarios = {
+        [] { return runBaseline(baseline::SoftStack::DpdkIx); },
+        [] { return runBaseline(baseline::SoftStack::RdmaFasst); },
+        [] { return runBaseline(baseline::SoftStack::Erpc); },
+        [] { return runBaseline(baseline::SoftStack::NetDimm); },
+        [] { return runDagger(); },
+    };
+    const std::vector<Point> points =
+        ctx.runner().run(std::move(scenarios));
+
+    tableHeader("Table 3: median RTT and single-core RPC throughput vs "
+                "related systems",
+                "system    objects   TOR     paper: RTT(us) Thr(Mrps) | "
+                "measured: RTT(us) Thr(Mrps)");
+
+    for (unsigned i = 0; i < 5; ++i) {
+        const Row &r = rows[i];
+        const Point &p = points[i];
         char thr_paper[16];
         if (r.paper_thr < 0)
             std::snprintf(thr_paper, sizeof(thr_paper), "N/A");
@@ -159,29 +169,38 @@ main()
             std::snprintf(thr_paper, sizeof(thr_paper), "%.2f",
                           r.paper_thr);
         std::printf("%-9s %-9s %-6s %13.1f %9s | %16.2f %9.2f\n", r.name,
-                    r.objects, r.tor, r.paper_rtt, thr_paper, r.p.p50_us,
-                    r.p.mrps);
+                    r.objects, r.tor, r.paper_rtt, thr_paper, p.p50_us,
+                    p.mrps);
+        ctx.point()
+            .tag("system", r.name)
+            .value("rtt_us", p.p50_us)
+            .value("mrps", p.mrps)
+            .value("paper_rtt_us", r.paper_rtt);
     }
 
-    const Point &ix = rows[0].p, &fasst = rows[1].p, &erpc = rows[2].p,
-                &netdimm = rows[3].p, &dagger = rows[4].p;
-    bool ok = true;
-    ok &= shapeCheck("Dagger has the highest per-core throughput",
-                     dagger.mrps > fasst.mrps && dagger.mrps > erpc.mrps &&
-                         dagger.mrps > ix.mrps);
-    ok &= shapeCheck("Dagger throughput 1.3-3.8x over eRPC/FaSST (paper)",
-                     dagger.mrps / erpc.mrps > 1.3 &&
-                         dagger.mrps / fasst.mrps > 1.3 &&
-                         dagger.mrps / fasst.mrps < 4.5);
-    ok &= shapeCheck("Dagger ~8x IX's per-core throughput",
-                     dagger.mrps / ix.mrps > 5.0);
-    ok &= shapeCheck("Dagger has the lowest median RTT",
-                     dagger.p50_us < fasst.p50_us &&
-                         dagger.p50_us < erpc.p50_us &&
-                         dagger.p50_us <= netdimm.p50_us + 0.4);
-    ok &= shapeCheck("IX pays an order of magnitude in RTT",
-                     ix.p50_us > 3.5 * erpc.p50_us);
-    ok &= shapeCheck("Dagger RTT ~2.1us (paper)",
-                     dagger.p50_us > 1.4 && dagger.p50_us < 2.9);
-    return ok ? 0 : 1;
+    const Point &ix = points[0], &fasst = points[1], &erpc = points[2],
+                &netdimm = points[3], &dagger = points[4];
+    ctx.check("Dagger has the highest per-core throughput",
+              dagger.mrps > fasst.mrps && dagger.mrps > erpc.mrps &&
+                  dagger.mrps > ix.mrps);
+    ctx.check("Dagger throughput 1.3-3.8x over eRPC/FaSST (paper)",
+              dagger.mrps / erpc.mrps > 1.3 &&
+                  dagger.mrps / fasst.mrps > 1.3 &&
+                  dagger.mrps / fasst.mrps < 4.5);
+    ctx.check("Dagger ~8x IX's per-core throughput",
+              dagger.mrps / ix.mrps > 5.0);
+    ctx.check("Dagger has the lowest median RTT",
+              dagger.p50_us < fasst.p50_us && dagger.p50_us < erpc.p50_us &&
+                  dagger.p50_us <= netdimm.p50_us + 0.4);
+    ctx.check("IX pays an order of magnitude in RTT",
+              ix.p50_us > 3.5 * erpc.p50_us);
+    ctx.check("Dagger RTT ~2.1us (paper)",
+              dagger.p50_us > 1.4 && dagger.p50_us < 2.9);
+
+    ctx.anchor("dagger_rtt_us", 2.1, dagger.p50_us, 0.40);
+    ctx.anchor("dagger_mrps", 12.4, dagger.mrps, 0.20);
 }
+
+} // namespace
+
+DAGGER_BENCH_MAIN("table3_rpc_platforms", run)

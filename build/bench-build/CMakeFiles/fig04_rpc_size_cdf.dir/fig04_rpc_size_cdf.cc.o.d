@@ -28,7 +28,7 @@ bench-build/CMakeFiles/fig04_rpc_size_cdf.dir/fig04_rpc_size_cdf.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /root/repo/bench/harness.hh \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/bits/move.h /usr/include/c++/12/type_traits \
  /usr/include/c++/12/backward/binders.h /usr/include/c++/12/new \
@@ -207,34 +207,14 @@ bench-build/CMakeFiles/fig04_rpc_size_cdf.dir/fig04_rpc_size_cdf.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/app/adapters.hh \
- /root/repo/src/app/kvs_service.hh /usr/include/c++/12/optional \
- /root/repo/src/rpc/client.hh /root/repo/src/proto/wire.hh \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sim/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/bench/harness.hh \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/rpc/completion_queue.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/rpc/cpu.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hh /root/repo/src/rpc/system.hh \
- /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
- /root/repo/src/ic/cost_model.hh /root/repo/src/net/tor_switch.hh \
- /root/repo/src/nic/dagger_nic.hh /root/repo/src/mem/hcc.hh \
- /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/nic/config.hh \
- /root/repo/src/nic/connection_manager.hh \
- /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
- /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
- /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
- /root/repo/src/app/memcached.hh /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/app/mica.hh /root/repo/src/mem/set_assoc_cache.hh \
- /root/repo/src/app/workload.hh /root/repo/src/sim/rng.hh \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -254,6 +234,39 @@ bench-build/CMakeFiles/fig04_rpc_size_cdf.dir/fig04_rpc_size_cdf.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/svc/socialnet.hh \
- /root/repo/src/baseline/soft_rpc_node.hh \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/app/adapters.hh /root/repo/src/app/kvs_service.hh \
+ /usr/include/c++/12/optional /root/repo/src/rpc/client.hh \
+ /root/repo/src/proto/wire.hh /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sim/logging.hh /root/repo/src/rpc/completion_queue.hh \
+ /root/repo/src/rpc/cpu.hh /root/repo/src/sim/event_queue.hh \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/time.hh /root/repo/src/rpc/system.hh \
+ /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
+ /root/repo/src/ic/cost_model.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/net/tor_switch.hh \
+ /root/repo/src/nic/dagger_nic.hh /root/repo/src/mem/hcc.hh \
+ /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/nic/config.hh \
+ /root/repo/src/nic/connection_manager.hh \
+ /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
+ /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
+ /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
+ /root/repo/src/app/memcached.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/app/mica.hh /root/repo/src/mem/set_assoc_cache.hh \
+ /root/repo/src/app/workload.hh /root/repo/src/sim/rng.hh \
+ /root/repo/src/svc/socialnet.hh /root/repo/src/baseline/soft_rpc_node.hh \
  /root/repo/src/baseline/soft_stack.hh

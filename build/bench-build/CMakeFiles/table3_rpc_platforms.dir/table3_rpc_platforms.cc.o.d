@@ -29,11 +29,6 @@ bench-build/CMakeFiles/table3_rpc_platforms.dir/table3_rpc_platforms.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
  /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /root/repo/src/baseline/soft_rpc_node.hh /usr/include/c++/12/cstdint \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/bits/move.h /usr/include/c++/12/type_traits \
  /usr/include/c++/12/backward/binders.h /usr/include/c++/12/new \
@@ -94,7 +89,8 @@ bench-build/CMakeFiles/table3_rpc_platforms.dir/table3_rpc_platforms.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/clock_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/clockid_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/time_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/timer_t.h /usr/include/endian.h \
+ /usr/include/x86_64-linux-gnu/bits/types/timer_t.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h /usr/include/endian.h \
  /usr/include/x86_64-linux-gnu/bits/endian.h \
  /usr/include/x86_64-linux-gnu/bits/endianness.h \
  /usr/include/x86_64-linux-gnu/bits/byteswap.h \
@@ -113,9 +109,13 @@ bench-build/CMakeFiles/table3_rpc_platforms.dir/table3_rpc_platforms.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/baseline/soft_stack.hh \
- /root/repo/src/sim/time.hh /root/repo/src/rpc/cpu.hh \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/std_abs.h \
+ /root/repo/src/baseline/soft_rpc_node.hh /usr/include/c++/12/cstdint \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /root/repo/src/baseline/soft_stack.hh /root/repo/src/sim/time.hh \
+ /root/repo/src/rpc/cpu.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -219,23 +219,9 @@ bench-build/CMakeFiles/table3_rpc_platforms.dir/table3_rpc_platforms.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/limits /root/repo/bench/harness.hh \
- /root/repo/src/app/adapters.hh /root/repo/src/app/kvs_service.hh \
- /usr/include/c++/12/optional /root/repo/src/rpc/client.hh \
- /root/repo/src/proto/wire.hh /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/rpc/completion_queue.hh /root/repo/src/rpc/system.hh \
- /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
- /root/repo/src/ic/cost_model.hh /root/repo/src/net/tor_switch.hh \
- /root/repo/src/nic/dagger_nic.hh /root/repo/src/mem/hcc.hh \
- /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/nic/config.hh \
- /root/repo/src/nic/connection_manager.hh \
- /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
- /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
- /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
- /root/repo/src/app/memcached.hh /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/app/mica.hh /root/repo/src/mem/set_assoc_cache.hh \
- /root/repo/src/app/workload.hh /root/repo/src/sim/rng.hh \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -257,4 +243,31 @@ bench-build/CMakeFiles/table3_rpc_platforms.dir/table3_rpc_platforms.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/app/adapters.hh /root/repo/src/app/kvs_service.hh \
+ /usr/include/c++/12/optional /root/repo/src/rpc/client.hh \
+ /root/repo/src/proto/wire.hh /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/rpc/completion_queue.hh /root/repo/src/rpc/system.hh \
+ /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
+ /root/repo/src/ic/cost_model.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/net/tor_switch.hh /root/repo/src/nic/dagger_nic.hh \
+ /root/repo/src/mem/hcc.hh /root/repo/src/mem/direct_mapped_cache.hh \
+ /root/repo/src/nic/config.hh /root/repo/src/nic/connection_manager.hh \
+ /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
+ /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
+ /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
+ /root/repo/src/app/memcached.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/app/mica.hh /root/repo/src/mem/set_assoc_cache.hh \
+ /root/repo/src/app/workload.hh /root/repo/src/sim/rng.hh

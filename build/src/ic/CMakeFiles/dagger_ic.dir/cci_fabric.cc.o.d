@@ -195,15 +195,15 @@ src/ic/CMakeFiles/dagger_ic.dir/cci_fabric.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/ic/channel.hh \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
@@ -216,4 +216,5 @@ src/ic/CMakeFiles/dagger_ic.dir/cci_fabric.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.hh \
- /root/repo/src/ic/cost_model.hh
+ /root/repo/src/ic/cost_model.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /usr/include/c++/12/limits

@@ -217,4 +217,5 @@ src/net/CMakeFiles/dagger_net.dir/tor_switch.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hh
+ /root/repo/src/sim/time.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /usr/include/c++/12/limits

@@ -218,5 +218,6 @@ src/nic/CMakeFiles/dagger_nic.dir/connection_manager.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hh /root/repo/src/nic/config.hh \
- /root/repo/src/ic/cost_model.hh
+ /root/repo/src/sim/time.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
+ /root/repo/src/nic/config.hh /root/repo/src/ic/cost_model.hh

@@ -200,12 +200,12 @@ src/nic/CMakeFiles/dagger_nic.dir/dagger_nic.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/ic/cci_fabric.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/ic/channel.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/ic/channel.hh /root/repo/src/sim/event_queue.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
@@ -217,11 +217,11 @@ src/nic/CMakeFiles/dagger_nic.dir/dagger_nic.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.hh \
- /root/repo/src/ic/cost_model.hh /root/repo/src/mem/hcc.hh \
- /root/repo/src/mem/direct_mapped_cache.hh /usr/include/c++/12/optional \
+ /root/repo/src/ic/cost_model.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
+ /root/repo/src/mem/hcc.hh /root/repo/src/mem/direct_mapped_cache.hh \
  /root/repo/src/net/tor_switch.hh /root/repo/src/proto/wire.hh \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/nic/config.hh /root/repo/src/nic/connection_manager.hh \
  /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
  /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh

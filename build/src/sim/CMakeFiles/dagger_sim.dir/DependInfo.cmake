@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/dagger_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/dagger_sim.dir/event_queue.cc.o.d"
   "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/dagger_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/dagger_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/dagger_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/dagger_sim.dir/metrics.cc.o.d"
   "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/dagger_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/dagger_sim.dir/rng.cc.o.d"
   "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/dagger_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/dagger_sim.dir/stats.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dagger_sim.dir/event_queue.cc.o.d"
   "CMakeFiles/dagger_sim.dir/logging.cc.o"
   "CMakeFiles/dagger_sim.dir/logging.cc.o.d"
+  "CMakeFiles/dagger_sim.dir/metrics.cc.o"
+  "CMakeFiles/dagger_sim.dir/metrics.cc.o.d"
   "CMakeFiles/dagger_sim.dir/rng.cc.o"
   "CMakeFiles/dagger_sim.dir/rng.cc.o.d"
   "CMakeFiles/dagger_sim.dir/stats.cc.o"

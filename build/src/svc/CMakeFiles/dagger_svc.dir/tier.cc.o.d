@@ -218,13 +218,14 @@ src/svc/CMakeFiles/dagger_svc.dir/tier.cc.o: /root/repo/src/svc/tier.cc \
  /root/repo/src/rpc/cpu.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/time.hh /root/repo/src/rpc/system.hh \
- /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
- /root/repo/src/ic/cost_model.hh /root/repo/src/net/tor_switch.hh \
+ /root/repo/src/ic/cci_fabric.hh /usr/include/c++/12/optional \
+ /root/repo/src/ic/channel.hh /root/repo/src/ic/cost_model.hh \
+ /root/repo/src/sim/metrics.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/limits /root/repo/src/net/tor_switch.hh \
  /root/repo/src/nic/dagger_nic.hh /root/repo/src/mem/hcc.hh \
- /root/repo/src/mem/direct_mapped_cache.hh /usr/include/c++/12/optional \
- /root/repo/src/nic/config.hh /root/repo/src/nic/connection_manager.hh \
+ /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/nic/config.hh \
+ /root/repo/src/nic/connection_manager.hh \
  /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
  /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
  /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
  /root/repo/src/svc/trace.hh /usr/include/c++/12/map \

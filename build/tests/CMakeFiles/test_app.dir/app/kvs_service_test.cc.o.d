@@ -302,18 +302,19 @@ tests/CMakeFiles/test_app.dir/app/kvs_service_test.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/time.hh /root/repo/src/rpc/system.hh \
  /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
- /root/repo/src/ic/cost_model.hh /root/repo/src/net/tor_switch.hh \
+ /root/repo/src/ic/cost_model.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/net/tor_switch.hh \
  /root/repo/src/nic/dagger_nic.hh /root/repo/src/mem/hcc.hh \
  /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/nic/config.hh \
  /root/repo/src/nic/connection_manager.hh \
  /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
- /root/repo/src/sim/stats.hh /root/repo/src/nic/request_buffer.hh \
- /root/repo/src/rpc/rings.hh /root/repo/src/rpc/sw_cost.hh \
- /root/repo/src/rpc/server.hh /root/repo/src/app/memcached.hh \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/app/mica.hh \
- /root/repo/src/mem/set_assoc_cache.hh /root/repo/src/app/workload.hh \
- /root/repo/src/sim/rng.hh /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
+ /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
+ /root/repo/src/app/memcached.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/app/mica.hh /root/repo/src/mem/set_assoc_cache.hh \
+ /root/repo/src/app/workload.hh /root/repo/src/sim/rng.hh \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

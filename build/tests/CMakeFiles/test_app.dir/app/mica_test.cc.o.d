@@ -323,4 +323,5 @@ tests/CMakeFiles/test_app.dir/app/mica_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/proto/wire.hh /root/repo/src/sim/logging.hh \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh

@@ -298,4 +298,5 @@ tests/CMakeFiles/test_ic.dir/ic/channel_test.cc.o: \
  /root/repo/src/ic/channel.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/time.hh \
- /root/repo/src/ic/cost_model.hh
+ /root/repo/src/ic/cost_model.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh

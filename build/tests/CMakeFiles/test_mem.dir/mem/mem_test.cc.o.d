@@ -294,5 +294,6 @@ tests/CMakeFiles/test_mem.dir/mem/mem_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/sim/logging.hh \
- /root/repo/src/mem/hcc.hh /root/repo/src/sim/time.hh \
+ /root/repo/src/sim/metrics.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/sim/time.hh /root/repo/src/mem/hcc.hh \
  /root/repo/src/mem/llc_model.hh

@@ -294,7 +294,9 @@ tests/CMakeFiles/test_mem.dir/mem/set_assoc_cache_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mem/set_assoc_cache.hh /root/repo/src/sim/logging.hh \
- /root/repo/src/sim/rng.hh /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/metrics.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/sim/time.hh /root/repo/src/sim/rng.hh \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -298,4 +298,5 @@ tests/CMakeFiles/test_net.dir/net/tor_switch_test.cc.o: \
  /root/repo/src/proto/wire.hh /usr/include/c++/12/cstring \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hh
+ /root/repo/src/sim/time.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh

@@ -300,5 +300,6 @@ tests/CMakeFiles/test_nic.dir/nic/connection_manager_test.cc.o: \
  /root/repo/src/proto/wire.hh /usr/include/c++/12/cstring \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hh /root/repo/src/nic/config.hh \
+ /root/repo/src/sim/time.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/nic/config.hh \
  /root/repo/src/ic/cost_model.hh

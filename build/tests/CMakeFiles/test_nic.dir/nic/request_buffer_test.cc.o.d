@@ -296,4 +296,5 @@ tests/CMakeFiles/test_nic.dir/nic/request_buffer_test.cc.o: \
  /root/repo/src/nic/request_buffer.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/proto/wire.hh /usr/include/c++/12/cstring \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/logging.hh /root/repo/src/sim/metrics.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/sim/time.hh

@@ -293,19 +293,57 @@ tests/CMakeFiles/test_property_sweep.dir/rpc/property_sweep_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/bench/harness.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/app/adapters.hh /root/repo/src/app/kvs_service.hh \
  /root/repo/src/rpc/client.hh /root/repo/src/proto/wire.hh \
  /usr/include/c++/12/cstring /root/repo/src/sim/logging.hh \
- /root/repo/src/rpc/completion_queue.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/rpc/cpu.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hh /root/repo/src/rpc/system.hh \
- /root/repo/src/ic/cci_fabric.hh /root/repo/src/ic/channel.hh \
- /root/repo/src/ic/cost_model.hh /root/repo/src/net/tor_switch.hh \
- /root/repo/src/nic/dagger_nic.hh /root/repo/src/mem/hcc.hh \
- /root/repo/src/mem/direct_mapped_cache.hh /root/repo/src/nic/config.hh \
- /root/repo/src/nic/connection_manager.hh \
+ /root/repo/src/rpc/completion_queue.hh /root/repo/src/rpc/cpu.hh \
+ /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hh \
+ /root/repo/src/rpc/system.hh /root/repo/src/ic/cci_fabric.hh \
+ /root/repo/src/ic/channel.hh /root/repo/src/ic/cost_model.hh \
+ /root/repo/src/sim/metrics.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/net/tor_switch.hh /root/repo/src/nic/dagger_nic.hh \
+ /root/repo/src/mem/hcc.hh /root/repo/src/mem/direct_mapped_cache.hh \
+ /root/repo/src/nic/config.hh /root/repo/src/nic/connection_manager.hh \
  /root/repo/src/nic/load_balancer.hh /root/repo/src/nic/pipeline.hh \
- /root/repo/src/sim/stats.hh /root/repo/src/nic/request_buffer.hh \
- /root/repo/src/rpc/rings.hh /root/repo/src/rpc/sw_cost.hh \
- /root/repo/src/rpc/server.hh
+ /root/repo/src/nic/request_buffer.hh /root/repo/src/rpc/rings.hh \
+ /root/repo/src/rpc/sw_cost.hh /root/repo/src/rpc/server.hh \
+ /root/repo/src/app/memcached.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/app/mica.hh /root/repo/src/mem/set_assoc_cache.hh \
+ /root/repo/src/app/workload.hh /root/repo/src/sim/rng.hh

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/rpc/client_pool_test.cc" "tests/CMakeFiles/test_rpc.dir/rpc/client_pool_test.cc.o" "gcc" "tests/CMakeFiles/test_rpc.dir/rpc/client_pool_test.cc.o.d"
   "/root/repo/tests/rpc/end_to_end_test.cc" "tests/CMakeFiles/test_rpc.dir/rpc/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/test_rpc.dir/rpc/end_to_end_test.cc.o.d"
+  "/root/repo/tests/rpc/report_test.cc" "tests/CMakeFiles/test_rpc.dir/rpc/report_test.cc.o" "gcc" "tests/CMakeFiles/test_rpc.dir/rpc/report_test.cc.o.d"
   "/root/repo/tests/rpc/system_test.cc" "tests/CMakeFiles/test_rpc.dir/rpc/system_test.cc.o" "gcc" "tests/CMakeFiles/test_rpc.dir/rpc/system_test.cc.o.d"
   )
 

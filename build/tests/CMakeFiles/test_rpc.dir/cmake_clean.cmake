@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_rpc.dir/rpc/client_pool_test.cc.o.d"
   "CMakeFiles/test_rpc.dir/rpc/end_to_end_test.cc.o"
   "CMakeFiles/test_rpc.dir/rpc/end_to_end_test.cc.o.d"
+  "CMakeFiles/test_rpc.dir/rpc/report_test.cc.o"
+  "CMakeFiles/test_rpc.dir/rpc/report_test.cc.o.d"
   "CMakeFiles/test_rpc.dir/rpc/system_test.cc.o"
   "CMakeFiles/test_rpc.dir/rpc/system_test.cc.o.d"
   "test_rpc"

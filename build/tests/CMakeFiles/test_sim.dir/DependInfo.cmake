@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/metric_registry_test.cc" "tests/CMakeFiles/test_sim.dir/sim/metric_registry_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/metric_registry_test.cc.o.d"
   "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cc.o.d"
   "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o"
   "CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/metric_registry_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/metric_registry_test.cc.o.d"
   "CMakeFiles/test_sim.dir/sim/rng_test.cc.o"
   "CMakeFiles/test_sim.dir/sim/rng_test.cc.o.d"
   "CMakeFiles/test_sim.dir/sim/stats_test.cc.o"

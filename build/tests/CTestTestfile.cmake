@@ -18,11 +18,12 @@ include("/root/repo/build/tests/test_svc[1]_include.cmake")
 include("/root/repo/build/tests/test_net[1]_include.cmake")
 include("/root/repo/build/tests/test_nic_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_bench[1]_include.cmake")
 add_test(idlc.kvs "/root/repo/build/tools/daggeridl" "/root/repo/examples/idl/kvs.idl" "/root/repo/build/idlc_test_kvs.hh")
-set_tests_properties(idlc.kvs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(idlc.kvs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;80;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(idlc.telemetry "/root/repo/build/tools/daggeridl" "/root/repo/examples/idl/telemetry.idl" "/root/repo/build/idlc_test_telemetry.hh")
-set_tests_properties(idlc.telemetry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(idlc.telemetry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;83;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(idlc.missing_input "/root/repo/build/tools/daggeridl" "/root/repo/does_not_exist.idl" "/root/repo/build/idlc_test_none.hh")
-set_tests_properties(idlc.missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(idlc.missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(idlc.usage "/root/repo/build/tools/daggeridl")
-set_tests_properties(idlc.usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(idlc.usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;90;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ic/channel.hh"
 #include "ic/cost_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 
 namespace dagger::ic {
 
@@ -140,8 +142,17 @@ class CciFabric
     const Channel &toNicChannel() const { return _toNic; }
     const Channel &toHostChannel() const { return _toHost; }
 
+    /**
+     * Register the fabric's statistics under @p scope (both channel
+     * directions; ports added later self-register under
+     * "<scope>.port<i>").  Call at most once, before traffic.
+     */
+    void registerMetrics(sim::MetricScope scope);
+
   private:
     friend class CciPort;
+
+    void registerPortMetrics(CciPort &port);
 
     EventQueue &_eq;
     IfaceKind _kind;
@@ -151,6 +162,7 @@ class CciFabric
     Channel _toHost;
     unsigned _maxOutstanding;
     std::vector<std::unique_ptr<CciPort>> _ports;
+    std::optional<sim::MetricScope> _metricScope;
 };
 
 } // namespace dagger::ic

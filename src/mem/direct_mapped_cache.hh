@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace dagger::mem {
 
@@ -109,6 +110,31 @@ class DirectMappedCache
         return total == 0
             ? 0.0
             : static_cast<double>(_hits) / static_cast<double>(total);
+    }
+
+    /**
+     * Register this cache's statistics under @p scope.  The hit rate's
+     * text visibility/label is caller-controlled (the legacy reports
+     * print it under cache-specific names); raw counts are JSON-only.
+     */
+    void
+    registerMetrics(sim::MetricScope scope,
+                    sim::MetricText hit_rate_text = sim::MetricText::Hide,
+                    std::string hit_rate_label = {}) const
+    {
+        scope.gauge("hit_rate", [this] { return hitRate(); },
+                    hit_rate_text, std::move(hit_rate_label));
+        scope.intGauge("hits", [this] { return _hits; },
+                       sim::MetricText::Hide);
+        scope.intGauge("misses", [this] { return _misses; },
+                       sim::MetricText::Hide);
+        scope.intGauge("evictions", [this] { return _evictions; },
+                       sim::MetricText::Hide);
+        scope.intGauge("occupancy",
+                       [this] {
+                           return static_cast<std::uint64_t>(occupancy());
+                       },
+                       sim::MetricText::Hide);
     }
 
   private:

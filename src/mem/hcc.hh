@@ -69,6 +69,14 @@ class Hcc
     double hitRate() const { return _lines.hitRate(); }
     sim::Tick missLatency() const { return _missLatency; }
 
+    /** Register HCC statistics; the hit rate is text-visible. */
+    void
+    registerMetrics(sim::MetricScope scope) const
+    {
+        _lines.registerMetrics(scope, sim::MetricText::Show,
+                               "hcc_hit_rate");
+    }
+
   private:
     sim::Tick _missLatency;
     DirectMappedCache<bool> _lines;

@@ -22,6 +22,7 @@
 
 #include "proto/wire.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 #include "sim/time.hh"
 
 namespace dagger::net {
@@ -103,6 +104,16 @@ class TorSwitch
     std::uint64_t forwarded() const { return _forwarded; }
     std::uint64_t dropped() const { return _dropped; }
     EventQueue &eventQueue() { return _eq; }
+
+    /** Register switch statistics under @p scope. */
+    void
+    registerMetrics(sim::MetricScope scope)
+    {
+        scope.intGauge("forwarded", [this] { return _forwarded; },
+                       sim::MetricText::Show, "tor_forwarded");
+        scope.intGauge("dropped", [this] { return _dropped; },
+                       sim::MetricText::Show, "tor_dropped");
+    }
 
   private:
     friend class SwitchPort;

@@ -22,6 +22,7 @@
 #include "net/tor_switch.hh"
 #include "nic/config.hh"
 #include "proto/wire.hh"
+#include "sim/metrics.hh"
 #include "sim/time.hh"
 
 namespace dagger::nic {
@@ -93,6 +94,48 @@ class ConnectionManager
     const std::array<std::uint64_t, 3> &readerAccesses() const
     {
         return _readerAccesses;
+    }
+
+    /** Register CM statistics; only the hit rate is text-visible. */
+    void
+    registerMetrics(sim::MetricScope scope) const
+    {
+        scope.gauge("hit_rate",
+                    [this] {
+                        const auto total = _hits + _misses;
+                        return total == 0
+                            ? 0.0
+                            : static_cast<double>(_hits) /
+                                  static_cast<double>(total);
+                    },
+                    sim::MetricText::Show, "conn_cache_hit_rate");
+        scope.intGauge("hits", [this] { return _hits; },
+                       sim::MetricText::Hide);
+        scope.intGauge("misses", [this] { return _misses; },
+                       sim::MetricText::Hide);
+        scope.intGauge("evictions", [this] { return _evictions; },
+                       sim::MetricText::Hide);
+        scope.intGauge("cached",
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               cachedConnections());
+                       },
+                       sim::MetricText::Hide);
+        scope.intGauge("backing",
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               _backing.size());
+                       },
+                       sim::MetricText::Hide);
+        scope.intGauge("reads_outgoing",
+                       [this] { return _readerAccesses[0]; },
+                       sim::MetricText::Hide);
+        scope.intGauge("reads_incoming",
+                       [this] { return _readerAccesses[1]; },
+                       sim::MetricText::Hide);
+        scope.intGauge("reads_manager",
+                       [this] { return _readerAccesses[2]; },
+                       sim::MetricText::Hide);
     }
 
   private:

@@ -94,6 +94,20 @@ class DaggerNic
     ic::CciPort &cciPort() { return _port; }
     sim::EventQueue &eventQueue() { return _eq; }
 
+    /**
+     * Register all NIC statistics under @p scope: the Packet Monitor
+     * first (legacy order), then the connection cache, HCC, and the
+     * TX-path request buffer as child scopes.
+     */
+    void
+    registerMetrics(sim::MetricScope scope) const
+    {
+        _monitor.registerMetrics(scope);
+        _cm.registerMetrics(scope.sub("conn_cache"));
+        _hcc.registerMetrics(scope.sub("hcc"));
+        _reqBuffer.registerMetrics(scope.sub("req_buffer"));
+    }
+
     /** Effective number of active flows. */
     unsigned
     activeFlows() const

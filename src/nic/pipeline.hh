@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "net/tor_switch.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 
 namespace dagger::nic {
@@ -68,6 +69,27 @@ struct PacketMonitor
     drops() const
     {
         return dropsNoConnection.value() + dropsNoSlot.value();
+    }
+
+    /**
+     * Register all monitor statistics under @p scope, in legacy report
+     * order.  post_batch never appeared in the text report.
+     */
+    void
+    registerMetrics(sim::MetricScope scope) const
+    {
+        scope.counter("rpcs_out", rpcsOut);
+        scope.counter("rpcs_in", rpcsIn);
+        scope.counter("frames_fetched", framesFetched);
+        scope.counter("frames_posted", framesPosted);
+        scope.counter("bytes_out", bytesOut);
+        scope.counter("bytes_in", bytesIn);
+        scope.counter("drops_no_connection", dropsNoConnection);
+        scope.counter("drops_no_slot", dropsNoSlot);
+        scope.counter("malformed", malformed);
+        scope.counter("timeout_flushes", timeoutFlushes);
+        scope.histogram("fetch_batch", fetchBatch);
+        scope.histogram("post_batch", postBatch, sim::MetricText::Hide);
     }
 };
 

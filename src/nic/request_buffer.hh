@@ -20,6 +20,7 @@
 
 #include "proto/wire.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace dagger::nic {
 
@@ -61,6 +62,22 @@ class RequestBuffer
 
     std::uint64_t pushes() const { return _pushes; }
     std::uint64_t rejections() const { return _rejections; }
+
+    /** Register buffer statistics (JSON-only). */
+    void
+    registerMetrics(sim::MetricScope scope) const
+    {
+        scope.intGauge("pushes", [this] { return _pushes; },
+                       sim::MetricText::Hide);
+        scope.intGauge("rejections", [this] { return _rejections; },
+                       sim::MetricText::Hide);
+        scope.intGauge("free_slots",
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               _freeFifo.size());
+                       },
+                       sim::MetricText::Hide);
+    }
 
   private:
     std::vector<proto::Frame> _table;

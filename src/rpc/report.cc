@@ -2,71 +2,13 @@
 
 #include <sstream>
 
-#include "nic/dagger_nic.hh"
-
 namespace dagger::rpc {
-
-namespace {
-
-void
-line(std::ostringstream &os, const char *key, std::uint64_t value)
-{
-    os << "  " << key;
-    for (std::size_t i = std::string(key).size(); i < 28; ++i)
-        os << ' ';
-    os << value << "\n";
-}
-
-void
-lineF(std::ostringstream &os, const char *key, double value)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.4f", value);
-    os << "  " << key;
-    for (std::size_t i = std::string(key).size(); i < 28; ++i)
-        os << ' ';
-    os << buf << "\n";
-}
-
-} // namespace
 
 std::string
 reportNic(DaggerNode &node)
 {
-    std::ostringstream os;
-    nic::DaggerNic &dev = node.nicDev();
-    const auto &mon = dev.monitor();
-    os << "nic" << node.id() << " ("
-       << ic::ifaceName(dev.config().iface) << ", "
-       << dev.config().numFlows << " flows)\n";
-    line(os, "rpcs_out", mon.rpcsOut.value());
-    line(os, "rpcs_in", mon.rpcsIn.value());
-    line(os, "frames_fetched", mon.framesFetched.value());
-    line(os, "frames_posted", mon.framesPosted.value());
-    line(os, "bytes_out", mon.bytesOut.value());
-    line(os, "bytes_in", mon.bytesIn.value());
-    line(os, "drops_no_connection", mon.dropsNoConnection.value());
-    line(os, "drops_no_slot", mon.dropsNoSlot.value());
-    line(os, "malformed", mon.malformed.value());
-    line(os, "timeout_flushes", mon.timeoutFlushes.value());
-    line(os, "fetch_batch_p50", mon.fetchBatch.percentile(50));
-    lineF(os, "conn_cache_hit_rate",
-          dev.connectionManager().hits() +
-                  dev.connectionManager().misses() ==
-              0
-              ? 0.0
-              : static_cast<double>(dev.connectionManager().hits()) /
-                    static_cast<double>(dev.connectionManager().hits() +
-                                        dev.connectionManager().misses()));
-    lineF(os, "hcc_hit_rate", dev.hcc().hitRate());
-
-    // Per-flow ring health.
-    for (unsigned f = 0; f < node.numFlows(); ++f) {
-        std::ostringstream key;
-        key << "flow" << f << "_rx_drops";
-        line(os, key.str().c_str(), node.flow(f).rx.drops());
-    }
-    return os.str();
+    return node.system().metrics().renderText(
+        "node" + std::to_string(node.id()));
 }
 
 std::string
@@ -76,19 +18,17 @@ reportSystem(DaggerSystem &sys)
     const sim::Tick now = sys.eq().now();
     os << "=== dagger system report @ " << sim::ticksToUs(now)
        << " us simulated ===\n";
-    lineF(os, "ccip_to_nic_utilization",
-          sys.fabric().toNicChannel().utilization(now));
-    lineF(os, "ccip_to_host_utilization",
-          sys.fabric().toHostChannel().utilization(now));
-    line(os, "ccip_lines_to_nic",
-         sys.fabric().toNicChannel().linesServiced());
-    line(os, "ccip_lines_to_host",
-         sys.fabric().toHostChannel().linesServiced());
-    line(os, "tor_forwarded", sys.tor().forwarded());
-    line(os, "tor_dropped", sys.tor().dropped());
-    line(os, "events_executed", sys.eq().executed());
-    for (std::size_t n = 0; n < sys.numNodes(); ++n)
-        os << reportNic(sys.node(n));
+    os << sys.metrics().renderText();
+    return os.str();
+}
+
+std::string
+reportSystemJson(DaggerSystem &sys)
+{
+    std::ostringstream os;
+    os << "{\n\"time_us\": "
+       << sim::jsonNumber(sim::ticksToUs(sys.eq().now()))
+       << ",\n\"metrics\": " << sys.metrics().renderJson() << "}\n";
     return os.str();
 }
 

@@ -5,6 +5,10 @@
  * The paper's Packet Monitor "collects various networking statistics"
  * (§4.1); this is the operator-facing view: per-NIC counters, channel
  * utilization, connection-cache and HCC hit rates, ring/switch drops.
+ *
+ * Both reports are generic walks over the system's MetricRegistry
+ * (see sim/metrics.hh); components register their statistics at
+ * construction, nothing here knows any component's internals.
  */
 
 #ifndef DAGGER_RPC_REPORT_HH
@@ -21,6 +25,13 @@ std::string reportNic(DaggerNode &node);
 
 /** Render the whole deployment: fabric, switch, every node. */
 std::string reportSystem(DaggerSystem &sys);
+
+/**
+ * The same system-wide statistics as a JSON object: a "time_us"
+ * timestamp plus a "metrics" map of every registered metric (including
+ * the ones the text report hides) keyed by hierarchical name.
+ */
+std::string reportSystemJson(DaggerSystem &sys);
 
 } // namespace dagger::rpc
 

@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "proto/wire.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace dagger::rpc {
 
@@ -211,6 +213,42 @@ struct FlowRings
 
     TxRing tx;
     RxRing rx;
+
+    /**
+     * Register ring-health statistics.  Only the RX drop count is
+     * text-visible, under the caller-supplied legacy label
+     * ("flow<N>_rx_drops").
+     */
+    void
+    registerMetrics(sim::MetricScope scope,
+                    std::string rx_drops_label) const
+    {
+        scope.intGauge("rx.drops", [this] { return rx.drops(); },
+                       sim::MetricText::Show, std::move(rx_drops_label));
+        scope.intGauge("rx.delivered_frames",
+                       [this] { return rx.deliveredFrames(); },
+                       sim::MetricText::Hide);
+        scope.intGauge("rx.malformed", [this] { return rx.malformed(); },
+                       sim::MetricText::Hide);
+        scope.intGauge("rx.occupied",
+                       [this] {
+                           return static_cast<std::uint64_t>(rx.occupied());
+                       },
+                       sim::MetricText::Hide);
+        scope.intGauge("tx.pushed_frames",
+                       [this] { return tx.pushedFrames(); },
+                       sim::MetricText::Hide);
+        scope.intGauge("tx.popped_frames",
+                       [this] { return tx.poppedFrames(); },
+                       sim::MetricText::Hide);
+        scope.intGauge("tx.blocked", [this] { return tx.blocked(); },
+                       sim::MetricText::Hide);
+        scope.intGauge("tx.used",
+                       [this] {
+                           return static_cast<std::uint64_t>(tx.used());
+                       },
+                       sim::MetricText::Hide);
+    }
 };
 
 } // namespace dagger::rpc

@@ -1,5 +1,7 @@
 #include "rpc/system.hh"
 
+#include <sstream>
+
 #include "sim/logging.hh"
 
 namespace dagger::rpc {
@@ -8,6 +10,12 @@ DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
                            ic::PcieCost pcie)
     : _fabric(_eq, iface, 0, upi, pcie), _tor(_eq)
 {
+    // Registration order here and in addNode() is the legacy report's
+    // print order; renderText() walks entries in that order.
+    sim::MetricScope root(_metrics, "");
+    _fabric.registerMetrics(root.sub("fabric"));
+    _tor.registerMetrics(root.sub("tor"));
+    root.intGauge("events_executed", [this] { return _eq.executed(); });
 }
 
 FlowRings &
@@ -35,6 +43,19 @@ DaggerSystem::addNode(nic::NicConfig cfg, nic::SoftConfig soft)
         node->_nic->attachFlow(f, &node->_rings[f]->tx,
                                &node->_rings[f]->rx);
     }
+
+    sim::MetricScope scope(_metrics,
+                           "node" + std::to_string(node->_id));
+    std::ostringstream title;
+    title << "nic" << node->_id << " (" << ic::ifaceName(cfg.iface)
+          << ", " << cfg.numFlows << " flows)";
+    scope.section(title.str());
+    node->_nic->registerMetrics(scope.sub("nic"));
+    for (unsigned f = 0; f < cfg.numFlows; ++f)
+        node->_rings[f]->registerMetrics(
+            scope.sub("flow" + std::to_string(f)),
+            "flow" + std::to_string(f) + "_rx_drops");
+
     _nodes.push_back(std::move(node));
     return *_nodes.back();
 }

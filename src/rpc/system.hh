@@ -24,6 +24,7 @@
 #include "rpc/rings.hh"
 #include "rpc/sw_cost.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 
 namespace dagger::rpc {
 
@@ -84,6 +85,15 @@ class DaggerSystem
     sim::EventQueue &eq() { return _eq; }
     ic::CciFabric &fabric() { return _fabric; }
     net::TorSwitch &tor() { return _tor; }
+
+    /**
+     * The system-wide metric registry.  Every component registers its
+     * statistics here at construction: "fabric.*", "tor.*",
+     * "events_executed", then per node "node<i>.nic.*" and
+     * "node<i>.flow<f>.*".  Reports are registry walks.
+     */
+    sim::MetricRegistry &metrics() { return _metrics; }
+    const sim::MetricRegistry &metrics() const { return _metrics; }
     const SwCost &swCost() const { return _swCost; }
     SwCost &swCost() { return _swCost; }
     DaggerNode &node(std::size_t i) { return *_nodes.at(i); }
@@ -105,6 +115,7 @@ class DaggerSystem
         net::NodeId server;
     };
 
+    sim::MetricRegistry _metrics; ///< outlives everything registered in it
     sim::EventQueue _eq;
     ic::CciFabric _fabric;
     net::TorSwitch _tor;

@@ -8,12 +8,19 @@
  *  - integrity: every response carries the request's payload back;
  *  - per-flow FIFO: responses arrive in issue order on a flow;
  *  - ring occupancy returns to zero after drain.
+ *
+ * The 90-point grid runs through bench::SweepRunner — each point is an
+ * isolated DaggerSystem, so the combos execute concurrently and the
+ * verdicts come back in input order.
  */
 
 #include <gtest/gtest.h>
 
-#include <tuple>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench/harness.hh"
 #include "rpc/client.hh"
 #include "rpc/server.hh"
 #include "rpc/system.hh"
@@ -24,27 +31,52 @@ using namespace dagger;
 using namespace dagger::rpc;
 using sim::usToTicks;
 
-using SweepParam = std::tuple<ic::IfaceKind, unsigned /*batch*/,
-                              std::size_t /*payload*/,
-                              std::size_t /*ring entries*/>;
-
-class StackSweep : public ::testing::TestWithParam<SweepParam>
+struct SweepParam
 {
+    ic::IfaceKind iface;
+    unsigned batch;
+    std::size_t payload;
+    std::size_t ring;
 };
 
-TEST_P(StackSweep, ConservationIntegrityFifoAndDrain)
+std::string
+sweepName(const SweepParam &p)
 {
-    const auto [iface, batch, payload, ring] = GetParam();
+    std::string name = ic::ifaceName(p.iface);
+    name += "_B" + std::to_string(p.batch);
+    name += "_P" + std::to_string(p.payload);
+    name += "_R" + std::to_string(p.ring);
+    return name;
+}
 
-    DaggerSystem sys(iface);
+/** Everything the invariant checks need from one sweep point. */
+struct SweepVerdict
+{
+    std::string name;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t send_failures = 0;
+    std::uint64_t pending = 0;
+    std::uint64_t nic_drops = 0;
+    std::uint64_t ring_drops = 0;
+    std::uint64_t tx_used_client = 0;
+    std::uint64_t tx_used_server = 0;
+    bool integrity_ok = true;
+    bool fifo_ok = true;
+};
+
+SweepVerdict
+runSweepPoint(const SweepParam &param)
+{
+    DaggerSystem sys(param.iface);
     CpuSet cpus(sys.eq(), 2);
     nic::NicConfig cfg;
     cfg.numFlows = 1;
-    cfg.iface = iface;
-    cfg.txRingEntries = ring;
-    cfg.rxRingEntries = ring;
+    cfg.iface = param.iface;
+    cfg.txRingEntries = param.ring;
+    cfg.rxRingEntries = param.ring;
     nic::SoftConfig soft;
-    soft.batchSize = batch;
+    soft.batchSize = param.batch;
 
     auto &cnode = sys.addNode(cfg, soft);
     auto &snode = sys.addNode(cfg, soft);
@@ -61,12 +93,14 @@ TEST_P(StackSweep, ConservationIntegrityFifoAndDrain)
     });
 
     constexpr int kN = 300;
+    SweepVerdict v;
+    v.name = sweepName(param);
+    v.issued = kN;
     int completed = 0;
     std::uint32_t last_seq = 0;
-    bool fifo_ok = true;
-    bool integrity_ok = true;
 
     // Paced sends (500ns apart) so small rings survive every config.
+    const std::size_t payload = param.payload;
     for (int i = 0; i < kN; ++i) {
         sys.eq().scheduleAt(sim::nsToTicks(500.0 * i), [&, i] {
             std::vector<std::uint8_t> data(payload);
@@ -77,62 +111,71 @@ TEST_P(StackSweep, ConservationIntegrityFifoAndDrain)
                 [&, i, data](const proto::RpcMessage &resp) {
                     ++completed;
                     if (resp.payload() != data)
-                        integrity_ok = false;
+                        v.integrity_ok = false;
                     // Per-flow FIFO: completions in issue order.
                     if (static_cast<std::uint32_t>(i) < last_seq)
-                        fifo_ok = false;
+                        v.fifo_ok = false;
                     last_seq = static_cast<std::uint32_t>(i);
                 });
         });
     }
     sys.eq().runFor(usToTicks(500.0 * kN / 1000.0 + 300));
 
-    const auto failures = client.sendFailures();
-    const auto nic_drops = cnode.nicDev().monitor().drops() +
-                           snode.nicDev().monitor().drops();
-    const auto ring_drops = cnode.flow(0).rx.drops() +
-                            snode.flow(0).rx.drops();
-
-    // Conservation: every issued call either completed, failed at
-    // send time (ring full), or is still pending because its frames
-    // were dropped somewhere observable.
-    EXPECT_EQ(static_cast<std::uint64_t>(completed) + failures +
-                  client.pendingCalls(),
-              static_cast<std::uint64_t>(kN))
-        << "conservation violated";
-    // Lost-in-flight calls must have an observable cause.
-    if (client.pendingCalls() > 0)
-        EXPECT_GT(nic_drops + ring_drops, 0u);
-    else
-        EXPECT_EQ(nic_drops + ring_drops, 0u);
-    EXPECT_TRUE(integrity_ok);
-    EXPECT_TRUE(fifo_ok);
-    // Drain: all ring entries returned.
-    EXPECT_EQ(cnode.flow(0).tx.used(), 0u);
-    EXPECT_EQ(snode.flow(0).tx.used(), 0u);
+    v.completed = static_cast<std::uint64_t>(completed);
+    v.send_failures = client.sendFailures();
+    v.pending = client.pendingCalls();
+    v.nic_drops = cnode.nicDev().monitor().drops() +
+                  snode.nicDev().monitor().drops();
+    v.ring_drops = cnode.flow(0).rx.drops() + snode.flow(0).rx.drops();
+    v.tx_used_client = cnode.flow(0).tx.used();
+    v.tx_used_server = snode.flow(0).tx.used();
+    return v;
 }
 
-std::string
-sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+TEST(StackSweep, ConservationIntegrityFifoAndDrain)
 {
-    std::string name = ic::ifaceName(std::get<0>(info.param));
-    name += "_B" + std::to_string(std::get<1>(info.param));
-    name += "_P" + std::to_string(std::get<2>(info.param));
-    name += "_R" + std::to_string(std::get<3>(info.param));
-    return name;
-}
+    const ic::IfaceKind ifaces[] = {
+        ic::IfaceKind::MmioWrite, ic::IfaceKind::Doorbell,
+        ic::IfaceKind::DoorbellBatch, ic::IfaceKind::Upi,
+        ic::IfaceKind::Cxl};
+    const unsigned batches[] = {1, 3, 8};
+    const std::size_t payloads[] = {8, 48, 200};
+    const std::size_t rings[] = {16, 256};
 
-INSTANTIATE_TEST_SUITE_P(
-    AllInterfaces, StackSweep,
-    ::testing::Combine(
-        ::testing::Values(ic::IfaceKind::MmioWrite, ic::IfaceKind::Doorbell,
-                          ic::IfaceKind::DoorbellBatch, ic::IfaceKind::Upi,
-                          ic::IfaceKind::Cxl),
-        ::testing::Values(1u, 3u, 8u),
-        ::testing::Values(std::size_t{8}, std::size_t{48},
-                          std::size_t{200}),
-        ::testing::Values(std::size_t{16}, std::size_t{256})),
-    sweepName);
+    std::vector<SweepParam> grid;
+    for (auto iface : ifaces)
+        for (auto batch : batches)
+            for (auto payload : payloads)
+                for (auto ring : rings)
+                    grid.push_back({iface, batch, payload, ring});
+
+    std::vector<std::function<SweepVerdict()>> scenarios;
+    scenarios.reserve(grid.size());
+    for (const SweepParam &param : grid)
+        scenarios.push_back([param] { return runSweepPoint(param); });
+    const std::vector<SweepVerdict> verdicts =
+        bench::SweepRunner().run(std::move(scenarios));
+
+    ASSERT_EQ(verdicts.size(), grid.size());
+    for (const SweepVerdict &v : verdicts) {
+        SCOPED_TRACE(v.name);
+        // Conservation: every issued call either completed, failed at
+        // send time (ring full), or is still pending because its
+        // frames were dropped somewhere observable.
+        EXPECT_EQ(v.completed + v.send_failures + v.pending, v.issued)
+            << "conservation violated";
+        // Lost-in-flight calls must have an observable cause.
+        if (v.pending > 0)
+            EXPECT_GT(v.nic_drops + v.ring_drops, 0u);
+        else
+            EXPECT_EQ(v.nic_drops + v.ring_drops, 0u);
+        EXPECT_TRUE(v.integrity_ok);
+        EXPECT_TRUE(v.fifo_ok);
+        // Drain: all ring entries returned.
+        EXPECT_EQ(v.tx_used_client, 0u);
+        EXPECT_EQ(v.tx_used_server, 0u);
+    }
+}
 
 /** Latency must be monotonically hurt by the doorbell batch factor. */
 class DoorbellBatchLatency : public ::testing::TestWithParam<unsigned>

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * MetricRegistry / MetricScope tests: registration, hierarchical
+ * naming, scope filtering, duplicate-name detection, and both
+ * renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using dagger::sim::Counter;
+using dagger::sim::Histogram;
+using dagger::sim::MetricRegistry;
+using dagger::sim::MetricScope;
+using dagger::sim::MetricText;
+
+TEST(MetricRegistry, RegistersAllKindsInOrder)
+{
+    MetricRegistry reg;
+    Counter c("c");
+    c.inc(7);
+    Histogram h("h");
+    h.record(100);
+
+    reg.addCounter("a.count", c);
+    reg.addIntGauge("a.ints", [] { return std::uint64_t{42}; });
+    reg.addGauge("a.ratio", [] { return 0.5; });
+    reg.addHistogram("a.lat", h);
+
+    ASSERT_EQ(reg.entries().size(), 4u);
+    EXPECT_EQ(reg.entries()[0].name, "a.count");
+    EXPECT_EQ(reg.entries()[1].name, "a.ints");
+    EXPECT_EQ(reg.entries()[2].name, "a.ratio");
+    EXPECT_EQ(reg.entries()[3].name, "a.lat");
+    EXPECT_TRUE(reg.has("a.ratio"));
+    EXPECT_FALSE(reg.has("a.rati"));
+    EXPECT_FALSE(reg.has("a.ratio.x"));
+}
+
+TEST(MetricRegistry, ScopeJoinsDottedNames)
+{
+    MetricRegistry reg;
+    Counter c;
+    MetricScope root(reg, "");
+    MetricScope node = root.sub("node0");
+    MetricScope nic = node.sub("nic");
+    EXPECT_EQ(node.prefix(), "node0");
+    EXPECT_EQ(nic.prefix(), "node0.nic");
+
+    root.counter("events", c);
+    nic.counter("rpcs_out", c);
+    nic.sub("conn_cache").counter("hits", c);
+
+    EXPECT_TRUE(reg.has("events"));
+    EXPECT_TRUE(reg.has("node0.nic.rpcs_out"));
+    EXPECT_TRUE(reg.has("node0.nic.conn_cache.hits"));
+}
+
+TEST(MetricRegistry, ScopeFilterRespectsDotBoundaries)
+{
+    MetricRegistry reg;
+    Counter c;
+    c.inc(1);
+    reg.addCounter("node1.x", c);
+    reg.addCounter("node10.x", c);
+    reg.addCounter("node1", c, MetricText::Show, "n1");
+
+    std::vector<std::string> seen;
+    reg.forEach([&](const MetricRegistry::Entry &e) { seen.push_back(e.name); },
+                "node1");
+    // "node10.x" shares the character prefix but not the dotted scope.
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "node1.x");
+    EXPECT_EQ(seen[1], "node1");
+}
+
+TEST(MetricRegistry, TextRendererLabelsPaddingAndVisibility)
+{
+    MetricRegistry reg;
+    Counter c;
+    c.inc(5);
+    Histogram h;
+    h.recordMany(10, 100);
+
+    reg.addCounter("n.rpcs_out", c); // default label = leaf
+    reg.addCounter("n.secret", c, MetricText::Hide);
+    reg.addGauge("n.hit_rate", [] { return 0.25; }, MetricText::Show,
+                 "conn_cache_hit_rate");
+    reg.addHistogram("n.fetch_batch", h);
+
+    const std::string text = reg.renderText();
+    // Two-space indent, label padded to column 28.
+    EXPECT_NE(text.find("  rpcs_out                    5\n"),
+              std::string::npos);
+    // Hidden entries never show up in text.
+    EXPECT_EQ(text.find("secret"), std::string::npos);
+    // Label override + %.4f gauge formatting.
+    EXPECT_NE(text.find("  conn_cache_hit_rate         0.2500\n"),
+              std::string::npos);
+    // Histograms render one representative percentile.
+    EXPECT_NE(text.find("fetch_batch_p50"), std::string::npos);
+}
+
+TEST(MetricRegistry, SectionHeadersRenderUnindented)
+{
+    MetricRegistry reg;
+    Counter c;
+    MetricScope scope(reg, "node0");
+    scope.section("nic0 (UPI, 4 flows)");
+    scope.counter("rpcs", c);
+
+    const std::string text = reg.renderText();
+    EXPECT_EQ(text.rfind("nic0 (UPI, 4 flows)\n", 0), 0u);
+
+    // Scoped walks include the section; foreign scopes exclude it.
+    EXPECT_NE(reg.renderText("node0").find("nic0 ("), std::string::npos);
+    EXPECT_EQ(reg.renderText("node1").find("nic0 ("), std::string::npos);
+}
+
+TEST(MetricRegistry, JsonRendererExportsEverything)
+{
+    MetricRegistry reg;
+    Counter c;
+    c.inc(3);
+    Histogram h;
+    h.record(8);
+    h.record(8);
+
+    reg.addCounter("a.c", c, MetricText::Hide); // hidden in text only
+    reg.addGauge("a.g", [] { return 1.5; });
+    reg.addHistogram("a.h", h);
+    reg.addSection("a", "header");
+
+    const std::string json = reg.renderJson();
+    EXPECT_NE(json.find("\"a.c\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"a.g\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"a.h\": {\"count\": 2, \"min\": 8, \"max\": 8"),
+              std::string::npos);
+    // Sections carry no value and are skipped entirely.
+    EXPECT_EQ(json.find("header"), std::string::npos);
+
+    // Non-finite gauges must not produce invalid JSON.
+    MetricRegistry reg2;
+    reg2.addGauge("bad", [] { return 0.0 / 0.0; });
+    EXPECT_NE(reg2.renderJson().find("\"bad\": null"), std::string::npos);
+}
+
+TEST(MetricRegistryDeathTest, DuplicateNamePanics)
+{
+    MetricRegistry reg;
+    Counter c;
+    reg.addCounter("dup", c);
+    EXPECT_DEATH(reg.addCounter("dup", c), "duplicate metric name");
+}
+
+TEST(MetricRegistryDeathTest, EmptyNamePanics)
+{
+    MetricRegistry reg;
+    Counter c;
+    EXPECT_DEATH(reg.addCounter("", c), "metric needs a name");
+}
+
+} // namespace

@@ -117,6 +117,64 @@ TEST(Histogram, MergeCombines)
     EXPECT_GT(a.percentile(75), 9000u);
 }
 
+TEST(Histogram, MergeAcrossOctaveRangesMatchesDirectRecording)
+{
+    // Populations whose bucket arrays span very different octaves:
+    // merging must behave exactly like recording everything into one
+    // histogram, including lazy bucket growth in either direction.
+    Histogram small, large, both;
+    dagger::sim::Rng r(11);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t lo = 1 + r.range(30);          // unit buckets
+        const std::uint64_t hi = 1'000'000 + r.range(60'000'000);
+        small.record(lo);
+        large.record(hi);
+        both.record(lo);
+        both.record(hi);
+    }
+
+    // Merge the wide-range histogram into the narrow one...
+    Histogram merged_up = small;
+    merged_up.merge(large);
+    // ...and the narrow one into the wide one.
+    Histogram merged_down = large;
+    merged_down.merge(small);
+
+    for (Histogram *m : {&merged_up, &merged_down}) {
+        EXPECT_EQ(m->count(), both.count());
+        EXPECT_EQ(m->min(), both.min());
+        EXPECT_EQ(m->max(), both.max());
+        EXPECT_DOUBLE_EQ(m->mean(), both.mean());
+        for (double p : {1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9})
+            EXPECT_EQ(m->percentile(p), both.percentile(p)) << "p=" << p;
+    }
+
+    // The bimodal split sits at 50%: the median's octave depends on
+    // which side of the boundary the rank falls, and the quartiles
+    // must come from the respective populations.
+    EXPECT_LE(merged_up.percentile(25), 31u);
+    EXPECT_GE(merged_up.percentile(75), 1'000'000u);
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty)
+{
+    Histogram empty, filled;
+    filled.record(42);
+    filled.record(7);
+
+    Histogram a;
+    a.merge(filled); // into empty
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 7u);
+    EXPECT_EQ(a.max(), 42u);
+
+    Histogram b = filled;
+    b.merge(empty); // from empty: a no-op
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.percentile(50), filled.percentile(50));
+    EXPECT_DOUBLE_EQ(b.mean(), filled.mean());
+}
+
 TEST(Histogram, ResetForgetsEverything)
 {
     Histogram h;
