@@ -1,5 +1,6 @@
 #include "ic/cci_fabric.hh"
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dagger::ic {
@@ -182,6 +183,7 @@ CciPort::rawRead(EventFn done)
 void
 CciPort::submit(Op op)
 {
+    DAGGER_DCHECK(op.lines > 0, "zero-line CCI-P op on port ", _id);
     if (_inFlight >= _fabric._maxOutstanding) {
         ++_stalls;
         _pendingWindow.push_back(std::move(op));
@@ -194,6 +196,13 @@ void
 CciPort::issue(Op op)
 {
     ++_inFlight;
+    // §4.4: a port may keep at most maxOutstanding (default 128) CCI-P
+    // transactions in flight; anything above means the pending-window
+    // bookkeeping in submit()/completed() has desynchronized.
+    DAGGER_INVARIANT(_inFlight <= _fabric._maxOutstanding,
+                     "port ", _id, " exceeded the outstanding-transaction "
+                     "window: ", _inFlight, " > ",
+                     _fabric._maxOutstanding);
     Channel &ch = op.to_nic ? _fabric._toNic : _fabric._toHost;
     const Tick extra = op.extra_latency;
     auto done = std::move(op.done);

@@ -1,5 +1,6 @@
 #include "nic/dagger_nic.hh"
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dagger::nic {
@@ -131,6 +132,12 @@ DaggerNic::issueFetch(unsigned flow, std::size_t frames)
     auto claimed = fs.tx->popFrames(frames);
     dagger_assert(claimed.size() == frames, "ring under-delivered");
     ++fs.outstandingFetches;
+    // The RX FSM pipelines asynchronous reads but maybeFetch() stops
+    // issuing at the per-flow credit limit; exceeding it means a
+    // completion was lost or double-counted.
+    DAGGER_INVARIANT(fs.outstandingFetches <= kMaxFlowFetches,
+                     "flow ", flow, " exceeded its fetch credit window: ",
+                     fs.outstandingFetches, " > ", kMaxFlowFetches);
     _fetchesInWindow += frames; // request rate, not transaction rate
     _monitor.framesFetched.inc(frames);
     _monitor.fetchBatch.record(frames);
@@ -238,6 +245,8 @@ DaggerNic::steerMessage(net::Packet pkt)
     const unsigned flow = msg.type() == proto::MsgType::Response
         ? tuple->srcFlow % _cfg.numFlows
         : pickFlow(msg, *tuple);
+    DAGGER_DCHECK(flow < _flows.size(),
+                  "load balancer steered to nonexistent flow ", flow);
     FlowState &fs = _flows[flow];
     if (!fs.rx) {
         _monitor.dropsNoConnection.inc();

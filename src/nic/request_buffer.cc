@@ -1,5 +1,7 @@
 #include "nic/request_buffer.hh"
 
+#include "sim/check.hh"
+
 namespace dagger::nic {
 
 RequestBuffer::RequestBuffer(std::size_t slots, unsigned flows)
@@ -21,6 +23,9 @@ RequestBuffer::push(unsigned flow, proto::Frame frame)
     }
     const SlotId slot = _freeFifo.front();
     _freeFifo.pop_front();
+    DAGGER_DCHECK(slot < _table.size(),
+                  "free FIFO handed out slot ", slot, " beyond table size ",
+                  _table.size());
     _table[slot] = std::move(frame);
     _flowFifos[flow].push_back(slot);
     ++_pushes;
@@ -48,6 +53,12 @@ RequestBuffer::pop(unsigned flow, std::size_t n)
         out.push_back(std::move(_table[slot]));
         _freeFifo.push_back(slot);
     }
+    // Slots are conserved: every entry is either free or queued in
+    // exactly one flow FIFO, so the free FIFO can never outgrow the
+    // table (a double-release would trip this first).
+    DAGGER_INVARIANT(_freeFifo.size() <= _table.size(),
+                     "free FIFO (", _freeFifo.size(),
+                     ") outgrew the request table (", _table.size(), ")");
     return out;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "proto/wire.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 
@@ -70,6 +71,14 @@ class TxRing
         }
         _used += frames.size();
         _pushedFrames += frames.size();
+        // Occupancy is the wrap-math ground truth: entries written but
+        // not yet released never exceed the ring, and frames the NIC
+        // has not claimed yet are a subset of the occupied ones.
+        DAGGER_INVARIANT(_used <= _capacity,
+                         "TX ring over-filled: used=", _used,
+                         " capacity=", _capacity);
+        DAGGER_DCHECK(_pending.size() + frames.size() <= _used,
+                      "TX ring pending frames exceed occupancy");
         for (auto &f : frames)
             _pending.push_back(std::move(f));
         if (_notify)
@@ -92,6 +101,8 @@ class TxRing
             _pending.pop_front();
         }
         _poppedFrames += take;
+        DAGGER_DCHECK(_poppedFrames <= _pushedFrames,
+                      "TX ring popped more frames than were pushed");
         return out;
     }
 
@@ -163,6 +174,9 @@ class RxRing
             _frames.push_back(std::move(f));
             ++accepted;
         }
+        DAGGER_INVARIANT(_frames.size() <= _capacity,
+                         "RX ring over-filled: occupied=", _frames.size(),
+                         " capacity=", _capacity);
         _deliveredFrames += accepted;
         if (_notify && accepted > 0)
             _notify();

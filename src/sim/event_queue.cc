@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include "sim/check.hh"
+
 namespace dagger::sim {
 
 void
@@ -8,6 +10,12 @@ EventQueue::scheduleAt(Tick when, EventFn fn, Priority prio)
     dagger_assert(when >= _now,
                   "scheduleAt in the past: when=", when, " now=", _now);
     dagger_assert(fn, "scheduleAt with empty callback");
+    // The insertion sequence is the deterministic tie-break key for
+    // same-(tick, priority) events; wrap-around would scramble replay
+    // order between two otherwise-identical runs.
+    DAGGER_INVARIANT(_seq != UINT64_MAX,
+                     "event sequence counter exhausted; tie-break keys "
+                     "would wrap and break deterministic ordering");
     _heap.push(Event{when, static_cast<std::uint32_t>(prio), _seq++,
                      std::move(fn)});
 }
@@ -21,6 +29,9 @@ EventQueue::runOne()
     // callback may schedule new events (mutating the heap) safely.
     Event ev = _heap.top();
     _heap.pop();
+    DAGGER_INVARIANT(ev.when >= _now,
+                     "simulated time moved backwards: event at ", ev.when,
+                     " popped with now=", _now);
     _now = ev.when;
     ++_executed;
     ev.fn();

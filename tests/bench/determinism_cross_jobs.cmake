@@ -1,0 +1,43 @@
+# ctest script for test_determinism_cross_jobs: run one bench grid
+# twice (--jobs 1 vs --jobs 8) and byte-compare the JSON exports after
+# normalizing the two fields that legitimately differ between runs
+# (the jobs count itself and host wall time).  Everything else — every
+# point, anchor, check, and config value — must match byte for byte,
+# which is the determinism contract every reproduced figure rests on.
+#
+# Expects: -DBENCH=<bench binary> -DWORKDIR=<scratch dir>
+
+if(NOT BENCH OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH=... -DWORKDIR=... -P ...")
+endif()
+
+set(json1 ${WORKDIR}/determinism_jobs1.json)
+set(json8 ${WORKDIR}/determinism_jobs8.json)
+
+foreach(jobs IN ITEMS 1 8)
+    execute_process(
+        COMMAND ${BENCH} --jobs ${jobs} --json
+                ${WORKDIR}/determinism_jobs${jobs}.json
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} --jobs ${jobs} exited with ${rc}")
+    endif()
+endforeach()
+
+file(READ ${json1} a)
+file(READ ${json8} b)
+
+foreach(var IN ITEMS a b)
+    string(REGEX REPLACE "\"jobs\": [0-9]+," "\"jobs\": N," ${var} "${${var}}")
+    string(REGEX REPLACE "\"wall_clock_sec\": [0-9.eE+-]+,"
+           "\"wall_clock_sec\": W," ${var} "${${var}}")
+endforeach()
+
+if(NOT a STREQUAL b)
+    message(FATAL_ERROR "JSON differs between --jobs 1 and --jobs 8:\n"
+        "--- jobs 1 ---\n${a}\n--- jobs 8 ---\n${b}")
+endif()
+
+message(STATUS "jobs 1 and jobs 8 JSON byte-identical after "
+    "jobs/wall-clock normalization")
