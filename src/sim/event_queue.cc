@@ -25,16 +25,21 @@ EventQueue::runOne()
 {
     if (_heap.empty())
         return false;
-    // priority_queue::top() is const; the event is copied out so the
-    // callback may schedule new events (mutating the heap) safely.
-    Event ev = _heap.top();
+    // priority_queue::top() is const only so callers can't disturb the
+    // heap ordering; this entry is popped on the next line, so moving
+    // the closure (and key fields) out instead of deep-copying the
+    // whole Event is safe, and the local copy of the closure still
+    // lets the callback schedule new events (mutating the heap).
+    Event &top = const_cast<Event &>(_heap.top());
+    const Tick when = top.when;
+    EventFn fn = std::move(top.fn);
     _heap.pop();
-    DAGGER_INVARIANT(ev.when >= _now,
-                     "simulated time moved backwards: event at ", ev.when,
+    DAGGER_INVARIANT(when >= _now,
+                     "simulated time moved backwards: event at ", when,
                      " popped with now=", _now);
-    _now = ev.when;
+    _now = when;
     ++_executed;
-    ev.fn();
+    fn();
     return true;
 }
 
