@@ -266,6 +266,35 @@ shapeCheck(const char *what, bool ok)
 }
 
 /**
+ * Host wall-clock stopwatch for engine self-benchmarks.
+ *
+ * Wall time is only legal inside bench/harness.hh (the no-wallclock
+ * lint rule keeps host time out of simulated quantities), so perf
+ * benches that need to report events/sec measure through this timer
+ * instead of calling steady_clock themselves.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : _start(std::chrono::steady_clock::now()) {} // dagger-lint: allow(no-wallclock)
+
+    /** Seconds of host time since construction (or the last reset()). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   // dagger-lint: allow(no-wallclock)
+                   std::chrono::steady_clock::now() - _start)
+            .count();
+    }
+
+    void reset() { *this = WallTimer(); }
+
+  private:
+    std::chrono::steady_clock::time_point _start; // dagger-lint: allow(no-wallclock)
+};
+
+/**
  * Parallel scenario runner.
  *
  * Takes a vector of independent scenario closures — each builds and

@@ -38,14 +38,20 @@ SoftRpcNode::call(SoftRpcNode &dest, Payload request,
     _app.execute(scaled(_params.rpcSendCpu + _params.transportSendCpu),
                  [this, &dest, request = std::move(request),
                   reply = std::move(reply)]() mutable {
-                     _eq.schedule(
-                         _params.wireOneWay,
-                         [&dest, request = std::move(request),
-                          reply = std::move(reply)]() mutable {
-                             dest.receive(std::move(request),
-                                          std::move(reply));
-                         },
-                         sim::Priority::Hardware);
+                     auto hop = [&dest, request = std::move(request),
+                                 reply = std::move(reply)]() mutable {
+                         dest.receive(std::move(request),
+                                      std::move(reply));
+                     };
+                     // The software baseline deliberately threads fat
+                     // closures (payload + nested completion) through
+                     // every hop — exactly the per-RPC allocation and
+                     // copy overheads Dagger's NIC offload removes.
+                     // This one rides EventClosure's heap fallback.
+                     static_assert(!sim::EventClosure::fitsInline<
+                                   decltype(hop)>());
+                     _eq.schedule(_params.wireOneWay, std::move(hop),
+                                  sim::Priority::Hardware);
                  });
 }
 

@@ -153,24 +153,19 @@ CciPort::bookkeep(EventFn done)
     // metadata: it costs delivery latency but no dedicated channel
     // occupancy (the paper pipelines it with in-flight requests,
     // §4.4).  CXL device buffers are NIC-owned: release is immediate.
-    if (_fabric.kind() == IfaceKind::Cxl) {
-        _fabric._eq.schedule(0,
-                             [done = std::move(done)] {
-                                 if (done)
-                                     done();
-                             },
-                             sim::Priority::Hardware);
-        return;
-    }
-    const Tick extra = _fabric.kind() == IfaceKind::Upi
+    const Tick extra = _fabric.kind() == IfaceKind::Cxl ? 0
+        : _fabric.kind() == IfaceKind::Upi
         ? _fabric.upi().bookkeepLatency
         : _fabric.pcie().postLatency;
-    _fabric._eq.schedule(extra,
-                         [done = std::move(done)] {
-                             if (done)
-                                 done();
-                         },
-                         sim::Priority::Hardware);
+    // Pass the completion straight through instead of wrapping it: an
+    // EventClosure scheduled from an EventClosure rvalue is a plain
+    // move, so the caller's inline storage survives end to end.  An
+    // empty `done` still schedules a no-op so event counts (and thus
+    // seq-number assignment) match the previous engine exactly.
+    if (done)
+        _fabric._eq.schedule(extra, std::move(done), sim::Priority::Hardware);
+    else
+        _fabric._eq.schedule(extra, [] {}, sim::Priority::Hardware);
 }
 
 void

@@ -53,17 +53,24 @@ Channel::grantNext()
         _busyTicks += service;
         _linesServiced += txn.lines;
         ++_txnsServiced;
-        _eq.schedule(service,
-                     [this, done = std::move(txn.done)]() mutable {
-                         _busy = false;
-                         if (done)
-                             done();
-                         grantNext();
-                     },
+        _inService = std::move(txn.done);
+        _eq.schedule(service, [this] { serviceDone(); },
                      sim::Priority::Hardware);
         return;
     }
     _busy = false;
+}
+
+void
+Channel::serviceDone()
+{
+    _busy = false;
+    // Move the completion out first: it may request more work, which
+    // would start the next transaction and overwrite _inService.
+    EventFn done = std::move(_inService);
+    if (done)
+        done();
+    grantNext();
 }
 
 } // namespace dagger::ic

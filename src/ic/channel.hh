@@ -82,6 +82,7 @@ class Channel
     };
 
     void grantNext();
+    void serviceDone();
 
     EventQueue &_eq;
     Tick _lineService;
@@ -90,6 +91,10 @@ class Channel
     std::vector<std::uint64_t> _grants;
     unsigned _rrNext = 0;
     bool _busy = false;
+    /** Completion of the transaction in service.  Parked here so the
+     *  scheduled event captures only `this` and stays in EventClosure's
+     *  inline buffer; at most one transaction is in service at a time. */
+    EventFn _inService;
     std::uint64_t _linesServiced = 0;
     std::uint64_t _txnsServiced = 0;
     Tick _busyTicks = 0;

@@ -65,16 +65,22 @@ TorSwitch::drainEgress(SwitchPort &port)
         return;
     }
     port._egressBusy = true;
-    Packet pkt = std::move(port._egressQueue.front());
+    port._inFlight = std::move(port._egressQueue.front());
     port._egressQueue.pop_front();
-    const Tick ser = _byteTime * pkt.wireBytes();
+    const Tick ser = _byteTime * port._inFlight.wireBytes();
     ++_forwarded;
-    _eq.schedule(ser,
-                 [this, &port, pkt = std::move(pkt)]() mutable {
-                     port.deliver(std::move(pkt));
-                     drainEgress(port);
-                 },
+    _eq.schedule(ser, [this, &port] { egressDone(port); },
                  sim::Priority::Hardware);
+}
+
+void
+TorSwitch::egressDone(SwitchPort &port)
+{
+    // Move the packet out first: drainEgress() below reuses the
+    // _inFlight slot for the next queued packet.
+    Packet pkt = std::move(port._inFlight);
+    port.deliver(std::move(pkt));
+    drainEgress(port);
 }
 
 void

@@ -77,6 +77,10 @@ class SwitchPort
     // Egress side (switch -> this port).
     std::deque<Packet> _egressQueue;
     bool _egressBusy = false;
+    /** Packet currently serializing out of this port.  Parked here so
+     *  the serialization-done event captures only [this, &port] and
+     *  stays inline; egress serializes one packet at a time. */
+    Packet _inFlight;
 };
 
 /**
@@ -121,6 +125,7 @@ class TorSwitch
     void route(Packet pkt);
     void enqueueEgress(SwitchPort &port, Packet pkt);
     void drainEgress(SwitchPort &port);
+    void egressDone(SwitchPort &port);
 
     EventQueue &_eq;
     Tick _hopDelay;

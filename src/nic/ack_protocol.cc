@@ -34,7 +34,7 @@ AckProtocol::onEgress(net::Packet &pkt)
 void
 AckProtocol::armTimer(const Key &key)
 {
-    _nic->eventQueue().schedule(_timeout, [this, key] {
+    auto expire = [this, key] {
         auto it = _pending.find(key);
         if (it == _pending.end())
             return; // acked in the meantime
@@ -47,7 +47,11 @@ AckProtocol::armTimer(const Key &key)
         ++_retransmissions;
         _nic->protocolEgress(it->second.pkt); // resend a copy
         armTimer(key);
-    });
+    };
+    // One timer per in-flight packet: `this` plus the 12-byte Key must
+    // stay within EventClosure's inline buffer.
+    static_assert(sim::EventClosure::fitsInline<decltype(expire)>());
+    _nic->eventQueue().schedule(_timeout, std::move(expire));
 }
 
 void

@@ -263,8 +263,11 @@ DaggerNic::steerMessage(net::Packet pkt)
     if (penalty == 0) {
         maybePost(flow);
     } else {
-        _eq.schedule(penalty, [this, flow] { maybePost(flow); },
-                     sim::Priority::Hardware);
+        auto post = [this, flow] { maybePost(flow); };
+        // This fires once per steered RPC under CM-penalty pressure;
+        // it must never fall off EventClosure's allocation-free path.
+        static_assert(sim::EventClosure::fitsInline<decltype(post)>());
+        _eq.schedule(penalty, std::move(post), sim::Priority::Hardware);
     }
 }
 

@@ -15,14 +15,22 @@ WorkerPool::submit(sim::Tick cost, sim::EventFn fn)
 {
     ++_submitted;
     const sim::Tick delay = _sys.swCost().workerHandoffDelay;
-    _sys.eq().schedule(delay, [this, cost, fn = std::move(fn)]() mutable {
-        // Pick the least-loaded worker at wakeup time.
-        HwThread *best = _workers.front();
-        for (HwThread *w : _workers)
-            if (w->busyUntil() < best->busyUntil())
-                best = w;
-        best->execute(cost, std::move(fn));
-    });
+    _handoff.push_back(Handoff{cost, std::move(fn)});
+    _sys.eq().schedule(delay, [this] { dispatchOne(); });
+}
+
+void
+WorkerPool::dispatchOne()
+{
+    dagger_assert(!_handoff.empty(), "handoff event without queued work");
+    Handoff h = std::move(_handoff.front());
+    _handoff.pop_front();
+    // Pick the least-loaded worker at wakeup time.
+    HwThread *best = _workers.front();
+    for (HwThread *w : _workers)
+        if (w->busyUntil() < best->busyUntil())
+            best = w;
+    best->execute(h.cost, std::move(h.fn));
 }
 
 RpcServerThread::RpcServerThread(DaggerNode &node, unsigned flow,

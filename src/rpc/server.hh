@@ -65,8 +65,20 @@ class WorkerPool
     std::size_t workers() const { return _workers.size(); }
 
   private:
+    struct Handoff
+    {
+        sim::Tick cost;
+        sim::EventFn fn;
+    };
+
+    void dispatchOne();
+
     DaggerSystem &_sys;
     std::vector<HwThread *> _workers;
+    /** Work waiting out the handoff delay.  Parked here so each
+     *  scheduled handoff event captures only `this`; the fixed delay
+     *  makes event order == submit order == deque order (FIFO). */
+    std::deque<Handoff> _handoff;
     std::uint64_t _submitted = 0;
 };
 

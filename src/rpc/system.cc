@@ -16,6 +16,31 @@ DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
     _fabric.registerMetrics(root.sub("fabric"));
     _tor.registerMetrics(root.sub("tor"));
     root.intGauge("events_executed", [this] { return _eq.executed(); });
+    // Engine internals (event pool + two-level scheduler, docs/PERF.md).
+    // Hidden from the legacy text report, which is compared byte-for-
+    // byte by tests; JSON consumers see them under sim.events.*.
+    sim::MetricScope events = root.sub("sim").sub("events");
+    events.intGauge("pool_hits",
+                    [this] { return _eq.stats().poolHits; },
+                    sim::MetricText::Hide);
+    events.intGauge("pool_misses",
+                    [this] { return _eq.stats().poolMisses; },
+                    sim::MetricText::Hide);
+    events.intGauge("pool_blocks",
+                    [this] { return _eq.stats().poolBlocks; },
+                    sim::MetricText::Hide);
+    events.intGauge("wheel_admits",
+                    [this] { return _eq.stats().wheelAdmits; },
+                    sim::MetricText::Hide);
+    events.intGauge("frame_admits",
+                    [this] { return _eq.stats().frameAdmits; },
+                    sim::MetricText::Hide);
+    events.intGauge("heap_admits",
+                    [this] { return _eq.stats().heapAdmits; },
+                    sim::MetricText::Hide);
+    events.intGauge("max_pending",
+                    [this] { return _eq.stats().maxPending; },
+                    sim::MetricText::Hide);
 }
 
 FlowRings &

@@ -278,21 +278,25 @@ FlightApp::issueRegistration()
     if (_sys.eq().now() >= _stopAt)
         return;
     const double mean_gap_us = 1000.0 / _krps;
-    _sys.eq().schedule(
-        sim::usToTicks(_rng.exponential(mean_gap_us)), [this] {
-            if (_sys.eq().now() >= _stopAt)
-                return;
-            const std::uint64_t pid = _nextPassenger++;
-            ++_issued;
-            const sim::Tick t0 = _sys.eq().now();
-            TierReq r{pid};
-            _passengerClient->callPod(
-                kProcess, r, [this, t0](const proto::RpcMessage &) {
-                    _e2e.record(_sys.eq().now() - t0);
-                    ++_completed;
-                });
-            issueRegistration();
-        });
+    auto fire = [this] {
+        if (_sys.eq().now() >= _stopAt)
+            return;
+        const std::uint64_t pid = _nextPassenger++;
+        ++_issued;
+        const sim::Tick t0 = _sys.eq().now();
+        TierReq r{pid};
+        _passengerClient->callPod(
+            kProcess, r, [this, t0](const proto::RpcMessage &) {
+                _e2e.record(_sys.eq().now() - t0);
+                ++_completed;
+            });
+        issueRegistration();
+    };
+    // The open-loop load generator self-schedules once per request;
+    // keep it on EventClosure's allocation-free inline path.
+    static_assert(sim::EventClosure::fitsInline<decltype(fire)>());
+    _sys.eq().schedule(sim::usToTicks(_rng.exponential(mean_gap_us)),
+                       std::move(fire));
 }
 
 void

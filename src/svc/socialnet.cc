@@ -200,7 +200,7 @@ SocialNet::issueRequest()
     if (_eq.now() >= _stopAt)
         return;
     const double mean_gap_us = 1e6 / _qps;
-    _eq.schedule(sim::usToTicks(_rng.exponential(mean_gap_us)), [this] {
+    auto fire = [this] {
         if (_eq.now() >= _stopAt)
             return;
         ++_issued;
@@ -211,7 +211,12 @@ SocialNet::issueRequest()
         else
             readTimeline(t0);
         issueRequest();
-    });
+    };
+    // The open-loop load generator self-schedules once per request;
+    // keep it on EventClosure's allocation-free inline path.
+    static_assert(sim::EventClosure::fitsInline<decltype(fire)>());
+    _eq.schedule(sim::usToTicks(_rng.exponential(mean_gap_us)),
+                 std::move(fire));
 }
 
 void

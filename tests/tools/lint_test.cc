@@ -116,12 +116,14 @@ TEST_F(LintTest, FixtureTreeProducesExactRuleHits)
 {
     const RunResult r = run(lint("--json " + _root.string()));
     EXPECT_EQ(r.exit_code, 1); // findings present
-    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 3u);
+    // 3 from wallclock.cc + 1 from bench_wallclock.cc.
+    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 4u);
     EXPECT_EQ(ruleHits(r.out, "seeded-rng-only"), 2u);
     EXPECT_EQ(ruleHits(r.out, "no-unordered-iteration-order"), 1u);
     EXPECT_EQ(ruleHits(r.out, "no-raw-new-in-sim"), 1u);
     EXPECT_EQ(ruleHits(r.out, "event-handler-noexcept"), 1u);
-    EXPECT_NE(r.out.find("\"suppressed\": 3"), std::string::npos) << r.out;
+    // 3 from suppressed.cc + 1 from bench_wallclock.cc.
+    EXPECT_NE(r.out.find("\"suppressed\": 4"), std::string::npos) << r.out;
     EXPECT_NE(r.out.find("\"ok\": false"), std::string::npos);
 }
 
@@ -143,6 +145,24 @@ TEST_F(LintTest, SuppressionFormsAllApply)
     EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos);
 }
 
+TEST_F(LintTest, BenchWallclockOnlyLegalThroughHarness)
+{
+    // Perf benches report events/sec, which tempts a direct
+    // steady_clock read.  Prove the no-wallclock rule fires on bench/
+    // code exactly as on src/ code: host timing in a bench is only
+    // legal through bench/harness.hh's audited WallTimer allows.
+    const fs::path bench = _root / "bench";
+    fs::create_directories(bench);
+    fs::copy_file(fs::path(DAGGER_LINT_FIXTURES) / "bench_wallclock.cc.in",
+                  bench / "perf_sim_throughput.cc",
+                  fs::copy_options::overwrite_existing);
+    const RunResult r = run(lint("--json " + bench.string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out; // the direct read is a finding
+    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 1u) << r.out;
+    // The harness-style allow on the second read still suppresses.
+    EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+}
+
 TEST_F(LintTest, CleanFileExitsZero)
 {
     const RunResult r = run(lint("--json " + (_src / "clean.cc").string()));
@@ -155,7 +175,7 @@ TEST_F(LintTest, RuleFilterRestrictsFindings)
     const RunResult r =
         run(lint("--json --rule no-wallclock " + _root.string()));
     EXPECT_EQ(r.exit_code, 1);
-    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 3u);
+    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 4u);
     EXPECT_EQ(ruleHits(r.out, "seeded-rng-only"), 0u);
     EXPECT_EQ(ruleHits(r.out, "no-raw-new-in-sim"), 0u);
 }
