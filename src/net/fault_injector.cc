@@ -1,0 +1,110 @@
+#include "net/fault_injector.hh"
+
+namespace dagger::net {
+
+void
+FaultInjector::registerMetrics(sim::MetricScope scope)
+{
+    scope.counter("seen", _seen, sim::MetricText::Hide);
+    scope.counter("delivered", _delivered, sim::MetricText::Hide);
+    scope.counter("dropped", _dropped, sim::MetricText::Hide);
+    scope.counter("duplicated", _duplicated, sim::MetricText::Hide);
+    scope.counter("reordered", _reordered, sim::MetricText::Hide);
+    scope.counter("corrupted", _corrupted, sim::MetricText::Hide);
+    scope.counter("flap_dropped", _flapDropped, sim::MetricText::Hide);
+}
+
+bool
+FaultInjector::inFlap(sim::Tick now) const
+{
+    for (const FaultSpec::FlapWindow &w : _spec.flaps)
+        if (now >= w.start && now < w.end)
+            return true;
+    return false;
+}
+
+void
+FaultInjector::corruptPayload(Packet &pkt)
+{
+    if (pkt.frames.empty())
+        return;
+    // Prefer a frame that actually carries message bytes, so the
+    // per-frame checksum can catch the flip; an all-header packet has
+    // its checksum byte flipped instead.
+    std::vector<std::size_t> live;
+    live.reserve(pkt.frames.size());
+    for (std::size_t i = 0; i < pkt.frames.size(); ++i)
+        if (pkt.frames[i].liveBytes() > 0)
+            live.push_back(i);
+    if (live.empty()) {
+        pkt.frames[_rng.range(pkt.frames.size())].header.checksum ^= 0xff;
+        return;
+    }
+    proto::Frame &f = pkt.frames[live[_rng.range(live.size())]];
+    f.payload[_rng.range(f.liveBytes())] ^= 0xff;
+}
+
+void
+FaultInjector::schedule(SwitchPort &port, Packet pkt, sim::Tick delay)
+{
+    if (delay == 0) {
+        // Immediate path: hand over synchronously, exactly like an
+        // injector-free port, so a zeroed FaultSpec is transparent.
+        _delivered.inc();
+        port.receiverDeliver(std::move(pkt));
+        return;
+    }
+    _eq.schedule(delay,
+                 [this, port = &port, pkt = std::move(pkt)]() mutable {
+                     _delivered.inc();
+                     port->receiverDeliver(std::move(pkt));
+                 },
+                 sim::Priority::Hardware);
+}
+
+void
+FaultInjector::process(SwitchPort &port, Packet pkt)
+{
+    _seen.inc();
+    const std::uint64_t idx = ++_index;
+
+    if (_scriptDrops.erase(idx)) {
+        _dropped.inc();
+        return;
+    }
+    if (inFlap(_eq.now())) {
+        _flapDropped.inc();
+        return;
+    }
+    if (_spec.dropP > 0.0 && _rng.chance(_spec.dropP)) {
+        _dropped.inc();
+        return;
+    }
+
+    bool corrupt = _scriptCorrupts.erase(idx) != 0;
+    if (_spec.corruptP > 0.0 && _rng.chance(_spec.corruptP))
+        corrupt = true;
+    if (corrupt) {
+        corruptPayload(pkt);
+        _corrupted.inc();
+    }
+
+    if (_spec.dupP > 0.0 && _rng.chance(_spec.dupP)) {
+        _duplicated.inc();
+        schedule(port, pkt, _spec.dupDelay); // copy: the second arrival
+    }
+
+    sim::Tick delay = 0;
+    auto it = _scriptDelays.find(idx);
+    if (it != _scriptDelays.end()) {
+        delay = it->second;
+        _scriptDelays.erase(it);
+        _reordered.inc();
+    } else if (_spec.reorderP > 0.0 && _rng.chance(_spec.reorderP)) {
+        delay = _spec.reorderDelay;
+        _reordered.inc();
+    }
+    schedule(port, std::move(pkt), delay);
+}
+
+} // namespace dagger::net

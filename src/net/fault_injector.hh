@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic per-link fault injection.
+ *
+ * The paper's loop-back network and ToR model are lossless; real
+ * datacenter links are not, and the RPC unit's Protocol block (§4.5)
+ * exists precisely to recover from loss.  FaultInjector sits between a
+ * SwitchPort's egress serializer and its receiver callback and applies
+ * a seeded fault model — drop, duplicate, reorder-by-delay, and
+ * payload-corruption probabilities, plus scripted link-flap windows —
+ * so the reliability stack above it (nic::AckProtocol, RpcClient retry
+ * budgets) can be exercised reproducibly.
+ *
+ * Determinism contract: every random decision comes from one seeded
+ * sim::Rng consumed in packet-arrival order, which the event queue
+ * makes deterministic; two runs with the same seed make byte-identical
+ * fault decisions regardless of --jobs.
+ */
+
+#ifndef DAGGER_NET_FAULT_INJECTOR_HH
+#define DAGGER_NET_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/tor_switch.hh"
+#include "sim/metrics.hh"
+#include "sim/rng.hh"
+
+namespace dagger::net {
+
+/**
+ * Fault model for one link direction.  All probabilities are
+ * independent per-packet Bernoulli trials; faults compose in a fixed
+ * order (scripted → flap → drop → corrupt → duplicate → reorder), so
+ * e.g. a duplicated packet can also be delivered out of order.
+ */
+struct FaultSpec
+{
+    double dropP = 0.0;    ///< P(packet silently dropped)
+    double dupP = 0.0;     ///< P(packet delivered twice)
+    double reorderP = 0.0; ///< P(delivery delayed by reorderDelay)
+    double corruptP = 0.0; ///< P(one payload byte flipped)
+
+    /** Extra delivery delay applied to reordered packets. */
+    sim::Tick reorderDelay = sim::usToTicks(5);
+    /** Delay of the second copy of a duplicated packet. */
+    sim::Tick dupDelay = sim::usToTicks(2);
+
+    /** Link-flap window [start, end): every packet in it is dropped. */
+    struct FlapWindow
+    {
+        sim::Tick start = 0;
+        sim::Tick end = 0;
+    };
+    std::vector<FlapWindow> flaps;
+
+    std::uint64_t seed = 0x6661756c74ull; ///< rng seed ("fault")
+};
+
+/**
+ * One injector instance guards one SwitchPort's delivery side.  A
+ * single FaultInjector may be installed on several ports; its rng is
+ * then shared across them (still deterministic — consumption order is
+ * event order).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(sim::EventQueue &eq, FaultSpec spec = {})
+        : _eq(eq), _spec(spec), _rng(spec.seed)
+    {}
+
+    /** Install on @p port (equivalent to port.setFaultInjector(this)). */
+    void install(SwitchPort &port) { port.setFaultInjector(this); }
+
+    /** Script: drop the @p nth packet seen (1-based). */
+    void scriptDrop(std::uint64_t nth) { _scriptDrops.insert(nth); }
+
+    /** Script: delay the @p nth packet seen (1-based) by @p delay. */
+    void
+    scriptDelay(std::uint64_t nth, sim::Tick delay)
+    {
+        _scriptDelays[nth] = delay;
+    }
+
+    /** Script: flip a payload byte of the @p nth packet seen (1-based). */
+    void scriptCorrupt(std::uint64_t nth) { _scriptCorrupts.insert(nth); }
+
+    const FaultSpec &spec() const { return _spec; }
+
+    std::uint64_t seen() const { return _seen.value(); }
+    std::uint64_t delivered() const { return _delivered.value(); }
+    std::uint64_t droppedCount() const { return _dropped.value(); }
+    std::uint64_t duplicated() const { return _duplicated.value(); }
+    std::uint64_t reordered() const { return _reordered.value(); }
+    std::uint64_t corrupted() const { return _corrupted.value(); }
+    std::uint64_t flapDropped() const { return _flapDropped.value(); }
+
+    /** Register net.fault.* counters under @p scope. */
+    void registerMetrics(sim::MetricScope scope);
+
+  private:
+    friend class SwitchPort;
+
+    /** Apply the fault model to @p pkt bound for @p port's receiver. */
+    void process(SwitchPort &port, Packet pkt);
+
+    /** Deliver now or after @p delay, through the injector bypass. */
+    void schedule(SwitchPort &port, Packet pkt, sim::Tick delay);
+
+    bool inFlap(sim::Tick now) const;
+    void corruptPayload(Packet &pkt);
+
+    sim::EventQueue &_eq;
+    FaultSpec _spec;
+    sim::Rng _rng;
+
+    std::uint64_t _index = 0; ///< packets seen (1-based script index)
+    std::set<std::uint64_t> _scriptDrops;
+    std::set<std::uint64_t> _scriptCorrupts;
+    std::map<std::uint64_t, sim::Tick> _scriptDelays;
+
+    sim::Counter _seen;
+    sim::Counter _delivered;
+    sim::Counter _dropped;
+    sim::Counter _duplicated;
+    sim::Counter _reordered;
+    sim::Counter _corrupted;
+    sim::Counter _flapDropped;
+};
+
+} // namespace dagger::net
+
+#endif // DAGGER_NET_FAULT_INJECTOR_HH

@@ -1,5 +1,6 @@
 #include "net/tor_switch.hh"
 
+#include "net/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace dagger::net {
@@ -85,6 +86,16 @@ TorSwitch::egressDone(SwitchPort &port)
 
 void
 SwitchPort::deliver(Packet pkt)
+{
+    if (_fault) {
+        _fault->process(*this, std::move(pkt));
+        return;
+    }
+    receiverDeliver(std::move(pkt));
+}
+
+void
+SwitchPort::receiverDeliver(Packet pkt)
 {
     if (_receiver)
         _receiver(std::move(pkt));

@@ -38,6 +38,9 @@ struct Packet
 {
     NodeId src = 0;
     NodeId dst = 0;
+    /** Transport metadata stamped by a reliable Protocol unit; rides
+     *  beside the frames and is not counted in wireBytes(). */
+    proto::TransportHeader th;
     std::vector<proto::Frame> frames;
 
     std::size_t wireBytes() const
@@ -47,6 +50,7 @@ struct Packet
 };
 
 class TorSwitch;
+class FaultInjector;
 
 /** One switch port; handed to a NIC's transport layer. */
 class SwitchPort
@@ -62,16 +66,28 @@ class SwitchPort
         _receiver = std::move(rx);
     }
 
+    /**
+     * Install a fault injector on this port's *delivery* side: every
+     * packet that finishes egress serialization is handed to @p fi
+     * instead of the receiver, and @p fi decides whether (and when) it
+     * reaches the receiver.  nullptr uninstalls.
+     */
+    void setFaultInjector(FaultInjector *fi) { _fault = fi; }
+
     NodeId node() const { return _node; }
 
   private:
     friend class TorSwitch;
+    friend class FaultInjector;
     SwitchPort(TorSwitch &sw, NodeId node) : _switch(sw), _node(node) {}
 
     void deliver(Packet pkt);
+    /** Final hop: hand @p pkt to the receiver, bypassing the injector. */
+    void receiverDeliver(Packet pkt);
 
     TorSwitch &_switch;
     NodeId _node;
+    FaultInjector *_fault = nullptr;
     std::function<void(Packet)> _receiver;
 
     // Egress side (switch -> this port).

@@ -20,22 +20,12 @@ RpcMessage::frameCount() const
     return (_payload.size() + kFramePayload - 1) / kFramePayload;
 }
 
-std::uint8_t
-RpcMessage::computeChecksum() const
-{
-    std::uint8_t sum = 0;
-    for (std::uint8_t b : _payload)
-        sum ^= b;
-    return sum;
-}
-
 std::vector<Frame>
 RpcMessage::toFrames() const
 {
     const std::size_t n = frameCount();
     dagger_assert(n <= 0xff, "RPC needs too many frames: ", n);
     std::vector<Frame> frames(n);
-    const std::uint8_t sum = computeChecksum();
     for (std::size_t i = 0; i < n; ++i) {
         Frame &f = frames[i];
         f.header.connId = _connId;
@@ -45,13 +35,15 @@ RpcMessage::toFrames() const
         f.header.type = _type;
         f.header.numFrames = static_cast<std::uint8_t>(n);
         f.header.frameIdx = static_cast<std::uint8_t>(i);
-        f.header.checksum = sum;
         const std::size_t off = i * kFramePayload;
         if (off < _payload.size()) {
             const std::size_t chunk =
                 std::min(kFramePayload, _payload.size() - off);
             std::memcpy(f.payload.data(), _payload.data() + off, chunk);
         }
+        // Per-frame checksum so a receiver can validate each fragment
+        // of a multi-packet RPC independently, before acknowledging.
+        f.header.checksum = f.computeChecksum();
     }
     return frames;
 }
@@ -82,6 +74,8 @@ RpcMessage::fromFrames(const std::vector<Frame> &frames, RpcMessage &out)
         if (f.header.frameIdx != i || f.header.connId != h0.connId ||
             f.header.rpcId != h0.rpcId || f.header.numFrames != h0.numFrames)
             return false;
+        if (!f.verifyChecksum())
+            return false;
         const std::size_t off = i * kFramePayload;
         if (off < out._payload.size()) {
             const std::size_t chunk =
@@ -89,7 +83,7 @@ RpcMessage::fromFrames(const std::vector<Frame> &frames, RpcMessage &out)
             std::memcpy(out._payload.data() + off, f.payload.data(), chunk);
         }
     }
-    return out.computeChecksum() == h0.checksum;
+    return true;
 }
 
 bool

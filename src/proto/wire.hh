@@ -62,9 +62,28 @@ struct FrameHeader
     MsgType type = MsgType::Request;
     std::uint8_t numFrames = 1;
     std::uint8_t frameIdx = 0;
-    std::uint8_t checksum = 0;    ///< xor over the full payload
+    std::uint8_t checksum = 0;    ///< xor over this frame's live payload
+                                  ///< bytes, mixed with frameIdx
 
     bool operator==(const FrameHeader &) const = default;
+};
+
+/**
+ * Transport-layer header a Protocol unit stamps on a wire packet
+ * (nic::AckProtocol).  This is the sequence field reliable transports
+ * need: a per-connection packet sequence number plus the cumulative
+ * acknowledgement piggybacked on ACK frames.  It rides next to the
+ * 64 B frames the way a real transport header would precede them; it
+ * is not counted in wireBytes() so that installing a protocol never
+ * perturbs the serialization model of protocol-free runs.
+ */
+struct TransportHeader
+{
+    std::uint32_t seq = 0;    ///< per-connection packet sequence (1-based)
+    std::uint32_t ackCum = 0; ///< ACKs only: all seq <= ackCum received
+    bool reliable = false;    ///< seq is valid (a protocol stamped it)
+
+    bool operator==(const TransportHeader &) const = default;
 };
 
 static_assert(sizeof(FrameHeader) == kHeaderBytes,
@@ -75,6 +94,37 @@ struct Frame
 {
     FrameHeader header;
     std::array<std::uint8_t, kFramePayload> payload{};
+
+    /** Payload bytes of the message that live in this frame. */
+    std::size_t
+    liveBytes() const
+    {
+        const std::size_t off =
+            static_cast<std::size_t>(header.frameIdx) * kFramePayload;
+        if (off >= header.payloadLen)
+            return 0;
+        return std::min(kFramePayload,
+                        static_cast<std::size_t>(header.payloadLen) - off);
+    }
+
+    /** Checksum over this frame's live bytes, mixed with its index. */
+    std::uint8_t
+    computeChecksum() const
+    {
+        std::uint8_t sum = header.frameIdx;
+        const std::size_t n = liveBytes();
+        for (std::size_t i = 0; i < n; ++i)
+            sum ^= payload[i];
+        return sum;
+    }
+
+    /**
+     * Ingress integrity gate: true iff the stored checksum matches
+     * the payload.  A reliable transport must run this *before*
+     * acknowledging, so a corrupted frame looks like a loss to the
+     * sender and is retransmitted.
+     */
+    bool verifyChecksum() const { return computeChecksum() == header.checksum; }
 };
 
 static_assert(sizeof(Frame) == kCacheLineBytes,
@@ -106,9 +156,6 @@ class RpcMessage
 
     /** Total wire bytes (frames * 64). */
     std::size_t wireBytes() const { return frameCount() * kCacheLineBytes; }
-
-    /** xor checksum over the payload. */
-    std::uint8_t computeChecksum() const;
 
     /** Split into wire frames. */
     std::vector<Frame> toFrames() const;

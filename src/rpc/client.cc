@@ -1,5 +1,7 @@
 #include "rpc/client.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dagger::rpc {
@@ -8,7 +10,13 @@ RpcClient::RpcClient(DaggerNode &node, unsigned flow, HwThread &thread)
     : _node(node), _flow(flow), _thread(thread)
 {
     dagger_assert(flow < node.numFlows(), "client flow out of range");
-    node.flow(flow).rx.setNotify([this] {
+    installRxNotify();
+}
+
+void
+RpcClient::installRxNotify()
+{
+    _node.flow(_flow).rx.setNotify([this] {
         if (_rxScheduled)
             return;
         _rxScheduled = true;
@@ -20,13 +28,39 @@ void
 RpcClient::setBestEffort(bool on)
 {
     _bestEffort = on;
-    if (on)
+    if (on) {
         _node.flow(_flow).rx.setNotify({});
+        // A drain chain in flight stops at its next processResponses()
+        // step; the flag must not stay latched, or switching
+        // best-effort back off would never drain the ring again.
+        _rxScheduled = false;
+        return;
+    }
+    installRxNotify();
+    // Drain whatever piled up while best-effort was on.
+    if (!_rxScheduled && _node.flow(_flow).rx.occupied() > 0) {
+        _rxScheduled = true;
+        processResponses();
+    }
 }
 
 void
 RpcClient::callAsyncOn(proto::ConnId conn, proto::FnId fn, const void *data,
                        std::size_t len, ResponseCb cb)
+{
+    issueCall(conn, fn, data, len, std::move(cb), {});
+}
+
+void
+RpcClient::callAsyncStatus(proto::FnId fn, const void *data, std::size_t len,
+                           StatusCb cb)
+{
+    issueCall(_conn, fn, data, len, {}, std::move(cb));
+}
+
+void
+RpcClient::issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
+                     std::size_t len, ResponseCb cb, StatusCb scb)
 {
     dagger_assert(conn != 0, "callAsync without a connection");
     DaggerSystem &sys = _node.system();
@@ -48,7 +82,19 @@ RpcClient::callAsyncOn(proto::ConnId conn, proto::FnId fn, const void *data,
         });
         return;
     }
-    _pending.emplace(rpc_id, Pending{std::move(cb), 0});
+    Pending entry;
+    entry.cb = std::move(cb);
+    entry.scb = std::move(scb);
+    if (_retry.enabled()) {
+        // Keep what a resend needs; without a policy this copy (and
+        // the timer) is skipped and tracked calls cost what they
+        // always did.
+        entry.conn = conn;
+        entry.fn = fn;
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        entry.payload.assign(bytes, bytes + len);
+    }
+    _pending.emplace(rpc_id, std::move(entry));
 
     _thread.execute(cost, [this, rpc_id, msg = std::move(msg)]() {
         auto it = _pending.find(rpc_id);
@@ -62,6 +108,77 @@ RpcClient::callAsyncOn(proto::ConnId conn, proto::FnId fn, const void *data,
         it->second.sentAt = _node.system().eq().now();
         ++_sent;
     });
+    if (_retry.enabled())
+        armCallTimer(rpc_id, _retry.timeout);
+}
+
+sim::Tick
+RpcClient::retryTimeout(unsigned attempt) const
+{
+    double t = static_cast<double>(_retry.timeout);
+    for (unsigned i = 0; i < attempt; ++i)
+        t *= _retry.backoff;
+    if (_retry.maxTimeout > 0)
+        t = std::min(t, static_cast<double>(_retry.maxTimeout));
+    return static_cast<sim::Tick>(t);
+}
+
+void
+RpcClient::rememberRetried(proto::RpcId rpc_id)
+{
+    _retriedDone.insert(rpc_id);
+    if (_retriedDone.size() > kRetriedDoneCap)
+        _retriedDone.erase(_retriedDone.begin()); // oldest id first
+}
+
+void
+RpcClient::armCallTimer(proto::RpcId rpc_id, sim::Tick timeout)
+{
+    auto expire = [this, rpc_id] { onCallTimeout(rpc_id); };
+    // One timer per in-flight retried call; hot under loss, so it must
+    // stay on the event pool's allocation-free path.
+    static_assert(sim::EventClosure::fitsInline<decltype(expire)>());
+    _node.system().eq().schedule(timeout, std::move(expire));
+}
+
+void
+RpcClient::onCallTimeout(proto::RpcId rpc_id)
+{
+    auto it = _pending.find(rpc_id);
+    if (it == _pending.end())
+        return; // completed before the timer fired
+    Pending &p = it->second;
+    if (p.attempt >= _retry.maxRetries) {
+        // Budget exhausted: complete the call with a status instead of
+        // leaving a silent orphan behind.
+        ++_timeouts;
+        _node.system().reliability().timeouts.inc();
+        rememberRetried(rpc_id);
+        StatusCb scb = std::move(p.scb);
+        _pending.erase(it);
+        if (scb) {
+            proto::RpcMessage empty;
+            scb(CallStatus::TimedOut, empty);
+        }
+        return;
+    }
+    ++p.attempt;
+    ++_retriesSent;
+    _node.system().reliability().retries.inc();
+    proto::RpcMessage msg(p.conn, rpc_id, p.fn, proto::MsgType::Request,
+                          p.payload.data(), p.payload.size());
+    DaggerSystem &sys = _node.system();
+    sim::Tick cost = sys.sendCpuCost(_node) +
+                     _node.nicDev().cciPort().hostPollPenalty();
+    if (_shared)
+        cost += sys.swCost().srqLockCost;
+    _thread.execute(cost, [this, rpc_id, msg = std::move(msg)]() {
+        if (_pending.find(rpc_id) == _pending.end())
+            return; // resolved while the resend was queued
+        if (!_node.flow(_flow).tx.push(msg))
+            ++_sendFailures;
+    });
+    armCallTimer(rpc_id, retryTimeout(p.attempt));
 }
 
 void
@@ -86,6 +203,10 @@ RpcClient::callOneWay(proto::FnId fn, const void *data, std::size_t len)
 void
 RpcClient::processResponses()
 {
+    if (_bestEffort) {
+        _rxScheduled = false;
+        return; // responses pile up (and overflow) in the RX ring
+    }
     proto::RpcMessage msg;
     if (!_node.flow(_flow).rx.popMessage(msg)) {
         _rxScheduled = false;
@@ -96,15 +217,32 @@ RpcClient::processResponses()
                     [this, msg = std::move(msg)]() mutable {
                         auto it = _pending.find(msg.rpcId());
                         if (it == _pending.end()) {
-                            ++_orphans;
+                            if (_retriedDone.count(msg.rpcId())) {
+                                // Duplicate or post-timeout response of
+                                // a retried call: accounted, not an
+                                // unknown orphan — and never delivered
+                                // twice.
+                                ++_lateResponses;
+                                _node.system()
+                                    .reliability()
+                                    .lateResponses.inc();
+                            } else {
+                                ++_orphans;
+                            }
                         } else {
                             ++_responses;
+                            _node.system().reliability().completions.inc();
                             const sim::Tick now = _node.system().eq().now();
                             if (it->second.sentAt)
                                 _latency.record(now - it->second.sentAt);
+                            if (it->second.attempt > 0)
+                                rememberRetried(msg.rpcId());
                             ResponseCb cb = std::move(it->second.cb);
+                            StatusCb scb = std::move(it->second.scb);
                             _pending.erase(it);
-                            if (cb)
+                            if (scb)
+                                scb(CallStatus::Ok, msg);
+                            else if (cb)
                                 cb(msg);
                             else
                                 _cq.push(std::move(msg));

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -26,11 +27,36 @@
 
 namespace dagger::rpc {
 
+/** Outcome of a tracked call, delivered to a StatusCb. */
+enum class CallStatus : std::uint8_t {
+    Ok,       ///< response arrived; the message argument is valid
+    TimedOut, ///< retry budget exhausted; the message argument is empty
+};
+
+/**
+ * Per-call timeout + retry policy (off by default: timeout == 0).
+ * Each retry multiplies the timeout by @ref backoff, capped at
+ * @ref maxTimeout; after @ref maxRetries resends the call completes
+ * with CallStatus::TimedOut instead of lingering as a silent orphan.
+ */
+struct RetryPolicy
+{
+    sim::Tick timeout = 0;    ///< first-attempt timeout (0 = disabled)
+    unsigned maxRetries = 3;  ///< resend budget after the first attempt
+    double backoff = 2.0;     ///< timeout multiplier per retry
+    sim::Tick maxTimeout = 0; ///< backoff cap (0 = uncapped)
+
+    bool enabled() const { return timeout > 0; }
+};
+
 /** The client endpoint for one NIC flow. */
 class RpcClient
 {
   public:
     using ResponseCb = std::function<void(const proto::RpcMessage &)>;
+    /** Status-aware continuation: fires exactly once per call. */
+    using StatusCb =
+        std::function<void(CallStatus, const proto::RpcMessage &)>;
 
     /**
      * @param node   the Dagger node (NIC + rings) this client uses
@@ -62,6 +88,33 @@ class RpcClient
     /** Issue a non-blocking call on an explicit connection (SRQ). */
     void callAsyncOn(proto::ConnId conn, proto::FnId fn, const void *data,
                      std::size_t len, ResponseCb cb = {});
+
+    /**
+     * Issue a tracked call whose continuation also reports the call
+     * outcome: CallStatus::Ok with the response, or (when a
+     * RetryPolicy is set and the budget runs out) CallStatus::TimedOut
+     * with an empty message.  Fires exactly once per call.
+     */
+    void callAsyncStatus(proto::FnId fn, const void *data, std::size_t len,
+                         StatusCb cb);
+
+    /** POD-payload convenience wrapper for callAsyncStatus. */
+    template <typename T>
+    void
+    callPodStatus(proto::FnId fn, const T &value, StatusCb cb)
+    {
+        callAsyncStatus(fn, &value, sizeof(T), std::move(cb));
+    }
+
+    /**
+     * Install a per-call timeout/retry policy.  When enabled, the
+     * client keeps a payload copy per in-flight call and resends it on
+     * timeout with capped exponential backoff; budget exhaustion is
+     * surfaced through the StatusCb (or just the timeouts() counter
+     * for plain-callback calls).
+     */
+    void setRetryPolicy(RetryPolicy policy) { _retry = policy; }
+    const RetryPolicy &retryPolicy() const { return _retry; }
 
     /**
      * One-way call: fire-and-forget, no response expected and no
@@ -97,6 +150,12 @@ class RpcClient
     std::uint64_t responses() const { return _responses; }
     std::uint64_t sendFailures() const { return _sendFailures; }
     std::uint64_t orphanResponses() const { return _orphans; }
+    /** Calls that exhausted the retry budget. */
+    std::uint64_t timeouts() const { return _timeouts; }
+    /** Resends issued by the retry policy. */
+    std::uint64_t retriesSent() const { return _retriesSent; }
+    /** Responses that arrived after their call was retried/timed out. */
+    std::uint64_t lateResponses() const { return _lateResponses; }
     std::size_t pendingCalls() const { return _pending.size(); }
 
     /** Round-trip latency of completed calls, in ticks. */
@@ -109,7 +168,14 @@ class RpcClient
   private:
     friend class RpcClientPool;
 
+    void installRxNotify();
     void processResponses();
+    void issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
+                   std::size_t len, ResponseCb cb, StatusCb scb);
+    void armCallTimer(proto::RpcId rpc_id, sim::Tick timeout);
+    void onCallTimeout(proto::RpcId rpc_id);
+    sim::Tick retryTimeout(unsigned attempt) const;
+    void rememberRetried(proto::RpcId rpc_id);
 
     DaggerNode &_node;
     unsigned _flow;
@@ -119,13 +185,26 @@ class RpcClient
     bool _shared = false;
     bool _bestEffort = false;
     bool _rxScheduled = false;
+    RetryPolicy _retry;
 
     struct Pending
     {
         ResponseCb cb;
-        sim::Tick sentAt;
+        StatusCb scb;
+        sim::Tick sentAt = 0;
+        unsigned attempt = 0; ///< resends issued so far
+        // Resend state, kept only while a RetryPolicy is enabled.
+        proto::ConnId conn = 0;
+        proto::FnId fn = 0;
+        std::vector<std::uint8_t> payload;
     };
     std::unordered_map<proto::RpcId, Pending> _pending;
+
+    /** Ids of retried/timed-out calls, so a late (or duplicate)
+     *  response counts as such instead of as an unknown orphan.
+     *  Bounded; ordered so eviction is deterministic. */
+    std::set<proto::RpcId> _retriedDone;
+    static constexpr std::size_t kRetriedDoneCap = 1024;
 
     CompletionQueue _cq;
     sim::Histogram _latency{"rpc_rtt"};
@@ -133,6 +212,9 @@ class RpcClient
     std::uint64_t _responses = 0;
     std::uint64_t _sendFailures = 0;
     std::uint64_t _orphans = 0;
+    std::uint64_t _timeouts = 0;
+    std::uint64_t _retriesSent = 0;
+    std::uint64_t _lateResponses = 0;
 };
 
 /**

@@ -41,6 +41,15 @@ DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
     events.intGauge("max_pending",
                     [this] { return _eq.stats().maxPending; },
                     sim::MetricText::Hide);
+    // Client retry/timeout behaviour, aggregated across all RpcClients
+    // (JSON-only, like sim.events.*: the text report is byte-compared).
+    sim::MetricScope rel = root.sub("rpc").sub("reliability");
+    rel.counter("retries", _reliability.retries, sim::MetricText::Hide);
+    rel.counter("timeouts", _reliability.timeouts, sim::MetricText::Hide);
+    rel.counter("completions", _reliability.completions,
+                sim::MetricText::Hide);
+    rel.counter("late_responses", _reliability.lateResponses,
+                sim::MetricText::Hide);
 }
 
 FlowRings &

@@ -51,6 +51,19 @@ class DaggerNode
     std::unique_ptr<nic::DaggerNic> _nic;
 };
 
+/**
+ * System-wide client reliability counters, aggregated across every
+ * RpcClient (clients come and go; these counters outlive them, so the
+ * MetricRegistry can safely point at them).
+ */
+struct ReliabilityStats
+{
+    sim::Counter retries{"retries"};
+    sim::Counter timeouts{"timeouts"};
+    sim::Counter completions{"completions"};
+    sim::Counter lateResponses{"late_responses"};
+};
+
 /** Full simulated deployment. */
 class DaggerSystem
 {
@@ -96,6 +109,7 @@ class DaggerSystem
     const sim::MetricRegistry &metrics() const { return _metrics; }
     const SwCost &swCost() const { return _swCost; }
     SwCost &swCost() { return _swCost; }
+    ReliabilityStats &reliability() { return _reliability; }
     DaggerNode &node(std::size_t i) { return *_nodes.at(i); }
     std::size_t numNodes() const { return _nodes.size(); }
 
@@ -116,6 +130,7 @@ class DaggerSystem
     };
 
     sim::MetricRegistry _metrics; ///< outlives everything registered in it
+    ReliabilityStats _reliability;
     sim::EventQueue _eq;
     ic::CciFabric _fabric;
     net::TorSwitch _tor;

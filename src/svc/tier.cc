@@ -13,6 +13,12 @@ Tier::Tier(rpc::DaggerSystem &sys, std::string name,
     _node = &sys.addNode(cfg, soft);
     _server = std::make_unique<rpc::RpcThreadedServer>(*_node);
     _server->addThread(0, dispatch);
+    // JSON-only (the text report is byte-compared); the gauge closure
+    // references this tier, which — like every registered component —
+    // must outlive report rendering.
+    sim::MetricScope scope(sys.metrics(), "svc." + _name);
+    scope.intGauge("degraded_calls", [this] { return degradedCalls(); },
+                   sim::MetricText::Hide);
 }
 
 rpc::RpcClient &
@@ -25,8 +31,27 @@ Tier::connectTo(Tier &server_tier, nic::LbScheme lb)
     const proto::ConnId conn =
         _sys.connect(*_node, flow, server_tier.node(), 0, lb);
     client->setConnection(conn);
+    if (_retryPolicy.enabled())
+        client->setRetryPolicy(_retryPolicy);
     _clients.push_back(std::move(client));
     return *_clients.back();
+}
+
+void
+Tier::setRetryPolicy(rpc::RetryPolicy policy)
+{
+    _retryPolicy = policy;
+    for (auto &client : _clients)
+        client->setRetryPolicy(policy);
+}
+
+std::uint64_t
+Tier::degradedCalls() const
+{
+    std::uint64_t n = 0;
+    for (const auto &client : _clients)
+        n += client->timeouts();
+    return n;
 }
 
 void

@@ -56,6 +56,16 @@ class Tier
     /** Apply the Optimized threading model with the given workers. */
     void useWorkerPool(std::vector<rpc::HwThread *> workers);
 
+    /**
+     * Apply a timeout/retry policy to every downstream client, current
+     * and future.  Budget-exhausted downstream calls count as degraded
+     * (the tier served its caller without that dependency).
+     */
+    void setRetryPolicy(rpc::RetryPolicy policy);
+
+    /** Downstream calls that exhausted their retry budget. */
+    std::uint64_t degradedCalls() const;
+
     rpc::RpcThreadedServer &server() { return *_server; }
     rpc::RpcServerThread &serverThread() { return _server->serverThread(0); }
     rpc::DaggerNode &node() { return *_node; }
@@ -73,6 +83,7 @@ class Tier
     std::vector<std::unique_ptr<rpc::RpcClient>> _clients;
     std::unique_ptr<rpc::WorkerPool> _pool;
     unsigned _nextClientFlow = 1;
+    rpc::RetryPolicy _retryPolicy; ///< applied when enabled()
     Tracer _tracer;
 };
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * FaultInjector tests: transparency of the zero spec, scripted
+ * drop/delay/corrupt hooks, seeded-probability faults, link flaps,
+ * and same-seed determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/fault_injector.hh"
+#include "net/tor_switch.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::net;
+using sim::EventQueue;
+using sim::Tick;
+using sim::usToTicks;
+
+Packet
+packetTo(NodeId dst, std::uint32_t rpc = 0)
+{
+    Packet p;
+    p.dst = dst;
+    p.frames.resize(1);
+    p.frames.front().header.rpcId = rpc;
+    return p;
+}
+
+/** A message-bearing packet whose checksum is valid on the wire. */
+Packet
+payloadPacketTo(NodeId dst)
+{
+    const std::uint64_t value = 0xdadadadadadadadaull;
+    proto::RpcMessage msg(1, 1, 1, proto::MsgType::Request, &value,
+                          sizeof(value));
+    Packet p;
+    p.dst = dst;
+    p.frames = msg.toFrames();
+    return p;
+}
+
+struct Link
+{
+    Link() : tor(eq), a(tor.attach(0)), b(tor.attach(1)) {}
+
+    EventQueue eq;
+    TorSwitch tor;
+    SwitchPort &a;
+    SwitchPort &b;
+};
+
+TEST(FaultInjector, ZeroSpecIsTransparent)
+{
+    Link plain, faulty;
+    FaultInjector fi(faulty.eq, FaultSpec{});
+    fi.install(faulty.b);
+
+    Tick plain_at = 0, faulty_at = 0;
+    int plain_n = 0, faulty_n = 0;
+    plain.b.setReceiver([&](Packet) { ++plain_n; plain_at = plain.eq.now(); });
+    faulty.b.setReceiver(
+        [&](Packet) { ++faulty_n; faulty_at = faulty.eq.now(); });
+
+    plain.a.send(packetTo(1));
+    faulty.a.send(packetTo(1));
+    plain.eq.runAll();
+    faulty.eq.runAll();
+
+    EXPECT_EQ(plain_n, 1);
+    EXPECT_EQ(faulty_n, 1);
+    // Identical arrival tick: the immediate path adds no events.
+    EXPECT_EQ(plain_at, faulty_at);
+    EXPECT_EQ(fi.seen(), 1u);
+    EXPECT_EQ(fi.delivered(), 1u);
+    EXPECT_EQ(fi.droppedCount(), 0u);
+}
+
+TEST(FaultInjector, ScriptedDropRemovesExactlyTheNthPacket)
+{
+    Link link;
+    FaultInjector fi(link.eq);
+    fi.install(link.b);
+    fi.scriptDrop(2);
+
+    std::vector<std::uint32_t> seen;
+    link.b.setReceiver(
+        [&](Packet p) { seen.push_back(p.frames.front().header.rpcId); });
+    for (std::uint32_t i = 1; i <= 4; ++i)
+        link.a.send(packetTo(1, i));
+    link.eq.runAll();
+
+    EXPECT_EQ(seen, (std::vector<std::uint32_t>{1, 3, 4}));
+    EXPECT_EQ(fi.droppedCount(), 1u);
+    EXPECT_EQ(fi.delivered(), 3u);
+}
+
+TEST(FaultInjector, ScriptedDelayReordersDelivery)
+{
+    Link link;
+    FaultInjector fi(link.eq);
+    fi.install(link.b);
+    fi.scriptDelay(1, usToTicks(10)); // first packet arrives last
+
+    std::vector<std::uint32_t> seen;
+    link.b.setReceiver(
+        [&](Packet p) { seen.push_back(p.frames.front().header.rpcId); });
+    link.a.send(packetTo(1, 1));
+    link.a.send(packetTo(1, 2));
+    link.eq.runAll();
+
+    EXPECT_EQ(seen, (std::vector<std::uint32_t>{2, 1}));
+    EXPECT_EQ(fi.reordered(), 1u);
+    EXPECT_EQ(fi.delivered(), 2u);
+}
+
+TEST(FaultInjector, ScriptedCorruptionIsCaughtByTheFrameChecksum)
+{
+    Link link;
+    FaultInjector fi(link.eq);
+    fi.install(link.b);
+    fi.scriptCorrupt(1);
+
+    int good = 0, bad = 0;
+    link.b.setReceiver([&](Packet p) {
+        for (const proto::Frame &f : p.frames)
+            (f.verifyChecksum() ? good : bad)++;
+    });
+    link.a.send(payloadPacketTo(1));
+    link.a.send(payloadPacketTo(1));
+    link.eq.runAll();
+
+    EXPECT_EQ(bad, 1);  // the corrupted frame fails its checksum
+    EXPECT_EQ(good, 1); // the clean packet passes
+    EXPECT_EQ(fi.corrupted(), 1u);
+}
+
+TEST(FaultInjector, FlapWindowDropsEverythingInsideIt)
+{
+    Link link;
+    FaultSpec spec;
+    spec.flaps.push_back({usToTicks(5), usToTicks(15)});
+    FaultInjector fi(link.eq, spec);
+    fi.install(link.b);
+
+    int delivered = 0;
+    link.b.setReceiver([&](Packet) { ++delivered; });
+    // One packet lands inside the flap window, one after it.
+    link.eq.schedule(usToTicks(6), [&] { link.a.send(packetTo(1)); });
+    link.eq.schedule(usToTicks(20), [&] { link.a.send(packetTo(1)); });
+    link.eq.runAll();
+
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(fi.flapDropped(), 1u);
+}
+
+TEST(FaultInjector, DuplicationDeliversTheSamePacketTwice)
+{
+    Link link;
+    FaultSpec spec;
+    spec.dupP = 1.0;
+    FaultInjector fi(link.eq, spec);
+    fi.install(link.b);
+
+    int delivered = 0;
+    link.b.setReceiver([&](Packet) { ++delivered; });
+    link.a.send(packetTo(1));
+    link.eq.runAll();
+
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(fi.duplicated(), 1u);
+    EXPECT_EQ(fi.seen(), 1u);
+}
+
+TEST(FaultInjector, SameSeedMakesIdenticalDropDecisions)
+{
+    auto run = [](std::uint64_t seed) {
+        Link link;
+        FaultSpec spec;
+        spec.dropP = 0.3;
+        spec.seed = seed;
+        FaultInjector fi(link.eq, spec);
+        fi.install(link.b);
+        std::vector<std::uint32_t> seen;
+        link.b.setReceiver([&](Packet p) {
+            seen.push_back(p.frames.front().header.rpcId);
+        });
+        for (std::uint32_t i = 1; i <= 100; ++i)
+            link.a.send(packetTo(1, i));
+        link.eq.runAll();
+        return seen;
+    };
+    const auto first = run(42);
+    EXPECT_EQ(first, run(42));       // byte-identical decisions
+    EXPECT_NE(first, run(43));       // and the seed actually matters
+    EXPECT_LT(first.size(), 100u);   // some packets really dropped
+    EXPECT_GT(first.size(), 0u);
+}
+
+TEST(FaultInjector, RegistersNetFaultMetrics)
+{
+    Link link;
+    FaultInjector fi(link.eq);
+    fi.install(link.b);
+    sim::MetricRegistry registry;
+    fi.registerMetrics(sim::MetricScope(registry, "net.fault"));
+
+    link.a.send(packetTo(1));
+    link.eq.runAll();
+
+    EXPECT_TRUE(registry.has("net.fault.seen"));
+    EXPECT_TRUE(registry.has("net.fault.dropped"));
+    const std::string json = registry.renderJson();
+    EXPECT_NE(json.find("\"net.fault.seen\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"net.fault.delivered\": 1"), std::string::npos);
+}
+
+} // namespace

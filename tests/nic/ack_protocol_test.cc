@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "net/fault_injector.hh"
 #include "nic/ack_protocol.hh"
 #include "rpc/client.hh"
 #include "rpc/server.hh"
@@ -19,8 +22,11 @@ using sim::usToTicks;
 
 struct AckRig
 {
-    /** @param tor_queue_cap tiny queues force drops when > 0 */
-    explicit AckRig(std::size_t drop_every = 0)
+    /**
+     * @param drop_every  unused shaping knob kept for symmetry
+     * @param mtu_frames  protocol fragmentation MTU (0 = no fragmenting)
+     */
+    explicit AckRig(std::size_t drop_every = 0, std::size_t mtu_frames = 0)
         : sys(ic::IfaceKind::Upi), cpus(sys.eq(), 2),
           dropEvery(drop_every)
     {
@@ -32,10 +38,12 @@ struct AckRig
         clientNode = &sys.addNode(cfg, soft);
         serverNode = &sys.addNode(cfg, soft);
 
-        auto cp = std::make_unique<nic::AckProtocol>(usToTicks(20), 4);
+        auto cp = std::make_unique<nic::AckProtocol>(usToTicks(20), 4,
+                                                     mtu_frames);
         clientAck = cp.get();
         clientNode->nicDev().setProtocol(std::move(cp));
-        auto sp = std::make_unique<nic::AckProtocol>(usToTicks(20), 4);
+        auto sp = std::make_unique<nic::AckProtocol>(usToTicks(20), 4,
+                                                     mtu_frames);
         serverAck = sp.get();
         serverNode->nicDev().setProtocol(std::move(sp));
 
@@ -160,6 +168,161 @@ TEST(AckProtocol, CountsAcksSymmetrically)
     EXPECT_EQ(rig.clientAck->acksSent(), 1u);
     EXPECT_EQ(rig.clientAck->acksReceived(), 1u);
     EXPECT_EQ(rig.serverAck->acksReceived(), 1u);
+}
+
+// Regression (at-most-once): an ACK that is delayed — not lost — past
+// the retransmit timer triggers a resend the receiver must re-ACK but
+// NOT re-deliver.  The pre-fix protocol forwarded the duplicate to the
+// RPC pipeline, so the server handler ran twice per call.
+TEST(AckProtocol, DelayedAckTriggersRetransmitButNoDuplicateDelivery)
+{
+    AckRig rig;
+    net::FaultInjector fi(rig.sys.eq());
+    fi.install(rig.sys.tor().attach(rig.clientNode->id()));
+    // First packet to arrive at the client is the request's ACK;
+    // hold it past the 20us retransmit timer.
+    fi.scriptDelay(1, usToTicks(30));
+
+    std::uint64_t done = 0;
+    std::uint64_t v = 11;
+    rig.client->callPod(1, v, [&](const proto::RpcMessage &) { ++done; });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(rig.clientAck->retransmissions(), 1u);
+    // The duplicate was re-ACKed, never re-delivered.
+    EXPECT_EQ(rig.server->totalProcessed(), 1u);
+    EXPECT_GE(rig.serverAck->dupSuppressed(), 1u);
+    EXPECT_EQ(rig.clientAck->unacked(), 0u);
+    EXPECT_EQ(rig.serverAck->unacked(), 0u);
+}
+
+// Regression (pending-key collision): with per-packet sequence keys a
+// multi-fragment RPC keeps one retransmission entry per fragment; the
+// pre-fix key (conn, rpc, type) made fragments overwrite each other,
+// so one fragment's ACK cleared them all and a dropped middle fragment
+// was never retransmitted.
+TEST(AckProtocol, DroppedMiddleFragmentRetransmitsAndDeliversOnce)
+{
+    AckRig rig(0, /*mtu_frames=*/1); // every frame is its own packet
+    net::FaultInjector fi(rig.sys.eq());
+    fi.install(rig.sys.tor().attach(rig.serverNode->id()));
+    fi.scriptDrop(2); // the middle fragment of the 3-packet request
+
+    struct Big
+    {
+        std::array<std::uint8_t, 120> bytes; // 3 frames of payload
+    } big;
+    for (std::size_t i = 0; i < big.bytes.size(); ++i)
+        big.bytes[i] = static_cast<std::uint8_t>(i * 7 + 1);
+
+    std::uint64_t done = 0;
+    rig.client->callPod(1, big, [&](const proto::RpcMessage &resp) {
+        Big out{};
+        ASSERT_TRUE(resp.payloadAs(out));
+        EXPECT_EQ(out.bytes, big.bytes); // intact after reassembly
+        ++done;
+    });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    EXPECT_EQ(done, 1u);
+    // Only the dropped fragment was resent, and the message was
+    // delivered exactly once.
+    EXPECT_EQ(rig.clientAck->retransmissions(), 1u);
+    EXPECT_EQ(rig.clientAck->lost(), 0u);
+    EXPECT_EQ(rig.server->totalProcessed(), 1u);
+    EXPECT_EQ(rig.clientAck->unacked(), 0u);
+    EXPECT_EQ(rig.serverAck->unacked(), 0u);
+}
+
+// ACK loss (not data loss): the data got through, its ACK did not.
+// The retransmitted copy must be deduplicated — exactly one delivery.
+TEST(AckProtocol, LostAckRetransmitIsDeduplicated)
+{
+    AckRig rig;
+    rig.clientAck->dropNextIngressAcks(1); // lose the request's ACK
+
+    std::uint64_t done = 0;
+    std::uint64_t v = 5;
+    rig.client->callPod(1, v, [&](const proto::RpcMessage &resp) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(resp.payloadAs(out));
+        EXPECT_EQ(out, 5u);
+        ++done;
+    });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(rig.clientAck->retransmissions(), 1u);
+    EXPECT_EQ(rig.serverAck->dupSuppressed(), 1u);
+    EXPECT_EQ(rig.server->totalProcessed(), 1u);
+    EXPECT_EQ(rig.clientAck->unacked(), 0u);
+}
+
+// Persistent ACK loss: the receiver keeps delivering (once) and
+// re-ACKing, but the sender never hears it — the retry budget runs
+// out, the loss is recorded, and the pending entry is reclaimed.
+TEST(AckProtocol, AckLossExhaustionReportsLostAndReclaimsPending)
+{
+    AckRig rig;
+    rig.clientAck->dropNextIngressAcks(1000);
+
+    std::uint64_t done = 0;
+    std::uint64_t v = 6;
+    rig.client->callPod(1, v, [&](const proto::RpcMessage &) { ++done; });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    // The data (and the response) went through exactly once...
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(rig.server->totalProcessed(), 1u);
+    EXPECT_EQ(rig.serverAck->dupSuppressed(), 4u); // every retransmit
+    // ...but the sender, deaf to ACKs, exhausted its budget.
+    EXPECT_EQ(rig.clientAck->retransmissions(), 4u);
+    EXPECT_EQ(rig.clientAck->lost(), 1u);
+    EXPECT_EQ(rig.clientAck->unacked(), 0u); // reclaimed
+    EXPECT_EQ(rig.clientAck->acksReceived(), 0u);
+}
+
+// A corrupted frame must fail the ingress checksum gate *before* the
+// ACK, so the sender sees a loss and retransmits a clean copy.
+TEST(AckProtocol, CorruptedFrameLooksLikeLossAndRecovers)
+{
+    AckRig rig;
+    net::FaultInjector fi(rig.sys.eq());
+    fi.install(rig.sys.tor().attach(rig.serverNode->id()));
+    fi.scriptCorrupt(1); // flip a payload byte of the request
+
+    std::uint64_t done = 0;
+    std::uint64_t v = 8;
+    rig.client->callPod(1, v, [&](const proto::RpcMessage &resp) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(resp.payloadAs(out));
+        EXPECT_EQ(out, 8u); // the clean retransmission won
+        ++done;
+    });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(rig.serverAck->corruptDropped(), 1u);
+    EXPECT_EQ(rig.clientAck->retransmissions(), 1u);
+    EXPECT_EQ(rig.server->totalProcessed(), 1u);
+}
+
+// Regression (hash quality): the pre-fix mix shifted the 32-bit conn
+// id left by 34 into a 64-bit lane, so connection ids differing only
+// in their top two bits hashed identically (0x40000000 << 34
+// overflows to zero).  All four high-bit variants must now differ.
+TEST(AckProtocol, KeyHashMixesHighConnectionIdBits)
+{
+    const std::uint32_t conns[] = {0x00000000u, 0x40000000u, 0x80000000u,
+                                   0xc0000000u};
+    std::set<std::size_t> hashes;
+    for (std::uint32_t conn : conns)
+        hashes.insert(nic::AckProtocol::hashKey(conn, 1));
+    EXPECT_EQ(hashes.size(), 4u);
+    // And the sequence number contributes too.
+    EXPECT_NE(nic::AckProtocol::hashKey(1, 1),
+              nic::AckProtocol::hashKey(1, 2));
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault_injector.hh"
 #include "rpc/client.hh"
 #include "rpc/server.hh"
 #include "rpc/system.hh"
@@ -117,6 +118,170 @@ TEST(RpcClientPool, FlowsAreIndependentUnderImbalance)
     EXPECT_EQ(done3, 1u); // not stuck behind flow 0's backlog
     rig.sys.eq().runFor(usToTicks(500));
     EXPECT_EQ(done0, 200u);
+}
+
+// Regression: setBestEffort(true) must not wedge response processing
+// for good.  The pre-fix toggle cleared the rx notify hook but never
+// reinstalled it (and could leave _rxScheduled latched), so after
+// switching best-effort back off no response was ever processed again.
+TEST(RpcClient, BestEffortToggleRestoresResponseProcessing)
+{
+    PoolRig rig;
+    RpcClient &cli = rig.pool->client(0);
+
+    cli.setBestEffort(true);
+    for (int i = 0; i < 5; ++i) {
+        std::uint64_t v = i;
+        cli.callPod(1, v); // fire-and-forget; responses pile up
+    }
+    rig.sys.eq().runFor(usToTicks(100));
+    EXPECT_EQ(cli.responses(), 0u); // nothing tracked, nothing drained
+
+    cli.setBestEffort(false);
+    rig.sys.eq().runFor(usToTicks(100));
+    // The piled-up best-effort responses drained (as orphans: they
+    // were never tracked)...
+    EXPECT_EQ(cli.orphanResponses(), 5u);
+
+    // ...and, critically, a new tracked call completes.
+    std::uint64_t done = 0;
+    std::uint64_t v = 77;
+    cli.callPod(1, v, [&](const proto::RpcMessage &resp) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(resp.payloadAs(out));
+        EXPECT_EQ(out, 77u);
+        ++done;
+    });
+    rig.sys.eq().runFor(usToTicks(100));
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(cli.responses(), 1u);
+}
+
+TEST(RpcClient, RetryResendsLostRequestAndCompletesOk)
+{
+    PoolRig rig;
+    net::FaultInjector fi(rig.sys.eq());
+    fi.install(rig.sys.tor().attach(rig.snode->id()));
+    fi.scriptDrop(1); // lose the first copy of the request
+
+    RpcClient &cli = rig.pool->client(0);
+    rpc::RetryPolicy policy;
+    policy.timeout = usToTicks(30);
+    policy.maxRetries = 3;
+    cli.setRetryPolicy(policy);
+
+    std::uint64_t ok = 0;
+    std::uint64_t v = 21;
+    cli.callPodStatus(1, v,
+                      [&](CallStatus st, const proto::RpcMessage &resp) {
+                          EXPECT_EQ(st, CallStatus::Ok);
+                          std::uint64_t out = 0;
+                          ASSERT_TRUE(resp.payloadAs(out));
+                          EXPECT_EQ(out, 21u);
+                          ++ok;
+                      });
+    rig.sys.eq().runFor(usToTicks(300));
+
+    EXPECT_EQ(ok, 1u);
+    EXPECT_EQ(cli.retriesSent(), 1u);
+    EXPECT_EQ(cli.timeouts(), 0u);
+    EXPECT_EQ(cli.pendingCalls(), 0u);
+    // The system-wide reliability counters saw the retry + completion.
+    const std::string json = rig.sys.metrics().renderJson();
+    EXPECT_NE(json.find("\"rpc.reliability.retries\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rpc.reliability.timeouts\": 0"),
+              std::string::npos);
+}
+
+TEST(RpcClient, RetryBudgetExhaustionSurfacesTimedOut)
+{
+    PoolRig rig;
+    net::FaultSpec spec;
+    spec.dropP = 1.0; // a dead link: nothing reaches the server
+    net::FaultInjector fi(rig.sys.eq(), spec);
+    fi.install(rig.sys.tor().attach(rig.snode->id()));
+
+    RpcClient &cli = rig.pool->client(0);
+    rpc::RetryPolicy policy;
+    policy.timeout = usToTicks(20);
+    policy.maxRetries = 2;
+    cli.setRetryPolicy(policy);
+
+    std::uint64_t timed_out = 0;
+    std::uint64_t v = 3;
+    cli.callPodStatus(1, v,
+                      [&](CallStatus st, const proto::RpcMessage &resp) {
+                          EXPECT_EQ(st, CallStatus::TimedOut);
+                          EXPECT_EQ(resp.payloadLen(), 0u); // empty
+                          ++timed_out;
+                      });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    EXPECT_EQ(timed_out, 1u); // fired exactly once, not per retry
+    EXPECT_EQ(cli.timeouts(), 1u);
+    EXPECT_EQ(cli.retriesSent(), 2u);
+    EXPECT_EQ(cli.pendingCalls(), 0u); // reclaimed, no silent orphan
+}
+
+TEST(RpcClient, LateResponseAfterTimeoutIsAccountedNotOrphaned)
+{
+    PoolRig rig;
+    net::FaultInjector fi(rig.sys.eq());
+    fi.install(rig.sys.tor().attach(rig.cnode->id()));
+    fi.scriptDelay(1, usToTicks(100)); // hold the response way too long
+
+    RpcClient &cli = rig.pool->client(0);
+    rpc::RetryPolicy policy;
+    policy.timeout = usToTicks(20);
+    policy.maxRetries = 0; // no resends: time out on first expiry
+    cli.setRetryPolicy(policy);
+
+    std::uint64_t timed_out = 0;
+    std::uint64_t v = 9;
+    cli.callPodStatus(1, v,
+                      [&](CallStatus st, const proto::RpcMessage &) {
+                          if (st == CallStatus::TimedOut)
+                              ++timed_out;
+                      });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    EXPECT_EQ(timed_out, 1u);
+    // The response eventually arrived — after the call completed as
+    // timed out.  It is accounted as late, never as an unknown orphan,
+    // and the continuation did not fire a second time.
+    EXPECT_EQ(cli.lateResponses(), 1u);
+    EXPECT_EQ(cli.orphanResponses(), 0u);
+}
+
+TEST(RpcClient, ExponentialBackoffStretchesRetryGaps)
+{
+    PoolRig rig;
+    net::FaultSpec spec;
+    spec.dropP = 1.0;
+    net::FaultInjector fi(rig.sys.eq(), spec);
+    fi.install(rig.sys.tor().attach(rig.snode->id()));
+
+    RpcClient &cli = rig.pool->client(0);
+    rpc::RetryPolicy policy;
+    policy.timeout = usToTicks(10);
+    policy.maxRetries = 3;
+    policy.backoff = 2.0;
+    policy.maxTimeout = usToTicks(25); // cap bites on the last gap
+    cli.setRetryPolicy(policy);
+
+    sim::Tick finished = 0;
+    std::uint64_t v = 1;
+    cli.callPodStatus(1, v,
+                      [&](CallStatus, const proto::RpcMessage &) {
+                          finished = rig.sys.eq().now();
+                      });
+    rig.sys.eq().runFor(usToTicks(500));
+
+    // Gaps: 10, 20, 25 (capped from 40), 25 (capped from 80) -> 80us.
+    EXPECT_EQ(finished, usToTicks(80));
+    EXPECT_EQ(cli.retriesSent(), 3u);
+    EXPECT_EQ(cli.timeouts(), 1u);
 }
 
 } // namespace
