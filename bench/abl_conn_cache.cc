@@ -67,13 +67,13 @@ runWith(std::size_t cache_entries, unsigned connections)
     sim::Rng rng(7);
     unsigned next = 0;
     for (int i = 0; i < 4000; ++i) {
-        sys.eq().scheduleAt(sim::nsToTicks(500.0 * i), [&, i] {
+        cnode.eq().scheduleAt(sim::nsToTicks(500.0 * i), [&, i] {
             std::uint64_t v = i;
             client.callAsyncOn(conns[next], 1, &v, sizeof(v));
             next = (next + 1) % conns.size();
         });
     }
-    sys.eq().runFor(sim::msToTicks(6));
+    sys.runFor(sim::msToTicks(6));
 
     Result r;
     r.cache_entries = cache_entries;

@@ -30,8 +30,8 @@ constexpr std::uint64_t kMicaKeys = 1'000'000;
 class KvsRig
 {
   public:
-    KvsRig(KvBackend &backend, KvWorkload &wl)
-        : _wl(wl), _sys(ic::IfaceKind::Upi), _cpus(_sys.eq(), 2)
+    KvsRig(KvBackend &backend, KvWorkload &wl, unsigned shards = 1)
+        : _wl(wl), _sys(ic::IfaceKind::Upi, {}, {}, shards)
     {
         nic::NicConfig cfg;
         cfg.numFlows = 1;
@@ -44,19 +44,29 @@ class KvsRig
         _serverNode = &_sys.addNode(cfg, soft);
         _serverNode->nicDev().setObjectLevelKey(0, wl.shape().keyLen);
 
+        // One core per side, each on its node's domain queue (the two
+        // coincide when shards == 1).
+        _clientCpus =
+            std::make_unique<rpc::CpuSet>(_clientNode->eq(), 1);
+        _serverCpus =
+            std::make_unique<rpc::CpuSet>(_serverNode->eq(), 1);
+
         _client = std::make_unique<rpc::RpcClient>(
-            *_clientNode, 0, _cpus.core(0).thread(0));
+            *_clientNode, 0, _clientCpus->core(0).thread(0));
         _client->setConnection(_sys.connect(*_clientNode, 0, *_serverNode,
                                             0, nic::LbScheme::ObjectLevel));
         _kvs = std::make_unique<KvsClient>(*_client);
 
         _server = std::make_unique<rpc::RpcThreadedServer>(*_serverNode);
-        _server->addThread(0, _cpus.core(1).thread(0));
+        _server->addThread(0, _serverCpus->core(0).thread(0));
         _app = std::make_unique<KvsServer>(*_server, backend);
     }
 
     rpc::DaggerSystem &system() { return _sys; }
     rpc::RpcThreadedServer &server() { return *_server; }
+    /** The server node's domain queue — where backend-side work (e.g.
+     *  memcached hash costs) must be scheduled. */
+    sim::EventQueue &serverEq() { return _serverNode->eq(); }
 
     Point
     run(unsigned window, sim::Tick warmup = sim::msToTicks(3),
@@ -64,10 +74,10 @@ class KvsRig
     {
         for (unsigned w = 0; w < window; ++w)
             fire();
-        _sys.eq().runFor(warmup);
+        _sys.runFor(warmup);
         const std::uint64_t d0 = _client->responses();
         _client->latency().reset();
-        _sys.eq().runFor(measure);
+        _sys.runFor(measure);
         Point p;
         p.mrps = sim::ratePerSec(_client->responses() - d0, measure) / 1e6;
         p.p50_us = sim::ticksToUs(_client->latency().percentile(50));
@@ -90,9 +100,10 @@ class KvsRig
 
     KvWorkload &_wl;
     rpc::DaggerSystem _sys;
-    rpc::CpuSet _cpus;
     rpc::DaggerNode *_clientNode;
     rpc::DaggerNode *_serverNode;
+    std::unique_ptr<rpc::CpuSet> _clientCpus;
+    std::unique_ptr<rpc::CpuSet> _serverCpus;
     std::unique_ptr<rpc::RpcClient> _client;
     std::unique_ptr<KvsClient> _kvs;
     std::unique_ptr<rpc::RpcThreadedServer> _server;
@@ -106,7 +117,7 @@ struct KvsResult
 };
 
 KvsResult
-runMica(DatasetShape shape, double theta)
+runMica(DatasetShape shape, double theta, unsigned shards)
 {
     KvsResult result;
     for (double get_ratio : {0.5, 0.95}) {
@@ -132,9 +143,9 @@ runMica(DatasetShape shape, double theta)
                     backend.kvSet(0, op.key, op.value, scratch);
             }
         }
-        KvsRig rig(backend, wl);
+        KvsRig rig(backend, wl, shards);
         Point p = rig.run(/*window=*/48); // saturation throughput
-        KvsRig lat_rig(backend, wl);
+        KvsRig lat_rig(backend, wl, shards);
         Point lat = lat_rig.run(/*window=*/12); // paper-like pipelining
         p.p50_us = lat.p50_us;
         p.p99_us = lat.p99_us;
@@ -147,7 +158,7 @@ runMica(DatasetShape shape, double theta)
 }
 
 KvsResult
-runMemcached(DatasetShape shape)
+runMemcached(DatasetShape shape, unsigned shards)
 {
     KvsResult result;
     for (double get_ratio : {0.5, 0.95}) {
@@ -160,16 +171,18 @@ runMemcached(DatasetShape shape)
         // The backend needs the rig's event queue: build the rig with
         // a placeholder backend, then re-attach a memcached-backed
         // KvsServer (handler re-registration replaces the placeholder).
+        // Backend work is server-side, so it lives on the server
+        // node's domain queue.
         MicaKvs dummy(1, 1 << 20, 1 << 10);
         MicaBackend dummy_backend(dummy);
-        KvsRig rig(dummy_backend, wl);
-        MemcachedBackend backend(store, rig.system().eq());
+        KvsRig rig(dummy_backend, wl, shards);
+        MemcachedBackend backend(store, rig.serverEq());
         KvsServer mc_app(rig.server(), backend);
         Point p = rig.run(/*window=*/8); // saturation throughput
         // Latency at light pipelining (the paper's 0.6 Mrps operating
         // point implies ~2 outstanding requests).
-        KvsRig lat_rig(dummy_backend, wl);
-        MemcachedBackend lat_backend(store, lat_rig.system().eq());
+        KvsRig lat_rig(dummy_backend, wl, shards);
+        MemcachedBackend lat_backend(store, lat_rig.serverEq());
         KvsServer lat_app(lat_rig.server(), lat_backend);
         Point lat = lat_rig.run(/*window=*/1);
         p.p50_us = lat.p50_us;
@@ -204,12 +217,13 @@ run(BenchContext &ctx)
 
     // The four Fig. 12 rows plus the §5.6 high-skew MICA run, all
     // independent full-system simulations.
+    const unsigned shards = ctx.shards();
     std::vector<std::function<KvsResult()>> scenarios = {
-        [] { return runMemcached(kTiny); },
-        [] { return runMemcached(kSmall); },
-        [] { return runMica(kTiny, 0.99); },
-        [] { return runMica(kSmall, 0.99); },
-        [] { return runMica(kTiny, 0.9999); },
+        [shards] { return runMemcached(kTiny, shards); },
+        [shards] { return runMemcached(kSmall, shards); },
+        [shards] { return runMica(kTiny, 0.99, shards); },
+        [shards] { return runMica(kSmall, 0.99, shards); },
+        [shards] { return runMica(kTiny, 0.9999, shards); },
     };
     const std::vector<KvsResult> results =
         ctx.runner().run(std::move(scenarios));

@@ -60,15 +60,11 @@ class EchoRig
         std::size_t payload = 48;    ///< one 64 B frame by default
         sim::Tick serverCost = sim::nsToTicks(10);
         bool bestEffort = false;     ///< allow drops (peak-rate mode)
+        unsigned shards = 1;         ///< event-engine domains (1 = classic)
     };
 
     explicit EchoRig(const Options &opt)
-        : _opt(opt), _sys(opt.iface),
-          // Tight 80ns send loops co-schedule well on SMT siblings:
-          // a mild 1.2x penalty matches the paper's near-linear
-          // scaling to 4 threads on 2 cores.
-          _clientCpus(_sys.eq(), std::max(1u, (opt.threads + 1) / 2), 1.2),
-          _serverCpus(_sys.eq(), opt.threads), _rng(0xbe0c4)
+        : _opt(opt), _sys(opt.iface, {}, {}, opt.shards), _rng(0xbe0c4)
     {
         nic::NicConfig cfg;
         cfg.numFlows = opt.threads;
@@ -81,17 +77,27 @@ class EchoRig
 
         _clientNode = &_sys.addNode(cfg, soft);
         _serverNode = &_sys.addNode(cfg, soft);
+
+        // CPU sets live in their node's domain (on a sharded system the
+        // two nodes sit on different shards), so they can only be built
+        // once the nodes are placed.  Tight 80ns send loops co-schedule
+        // well on SMT siblings: a mild 1.2x penalty matches the paper's
+        // near-linear scaling to 4 threads on 2 cores.
+        _clientCpus = std::make_unique<rpc::CpuSet>(
+            _clientNode->eq(), std::max(1u, (opt.threads + 1) / 2), 1.2);
+        _serverCpus =
+            std::make_unique<rpc::CpuSet>(_serverNode->eq(), opt.threads);
         _server = std::make_unique<rpc::RpcThreadedServer>(*_serverNode);
 
         for (unsigned t = 0; t < opt.threads; ++t) {
             // Paper placement: logical client thread t -> core t/2.
             auto &cli = _clients.emplace_back(std::make_unique<rpc::RpcClient>(
-                *_clientNode, t, _clientCpus.logicalThread(t)));
+                *_clientNode, t, _clientCpus->logicalThread(t)));
             cli->setConnection(_sys.connect(*_clientNode, t, *_serverNode,
                                             t, nic::LbScheme::Static));
             if (opt.bestEffort)
                 cli->setBestEffort(true);
-            _server->addThread(t, _serverCpus.core(t).thread(0));
+            _server->addThread(t, _serverCpus->core(t).thread(0));
         }
         // Handler cost carries a small exponential jitter so tail
         // percentiles behave like a real system rather than a
@@ -134,7 +140,7 @@ class EchoRig
     {
         const double per_thread =
             offered_mrps / static_cast<double>(_clients.size());
-        _stopAt = _sys.eq().now() + warmup + measure;
+        _stopAt = _sys.now() + warmup + measure;
         for (auto &cli : _clients)
             fireOpenLoop(*cli, per_thread);
         return measureWindow(warmup, measure);
@@ -149,12 +155,12 @@ class EchoRig
     floodPeak(sim::Tick warmup = sim::msToTicks(2),
               sim::Tick measure = sim::msToTicks(10))
     {
-        _stopAt = _sys.eq().now() + warmup + measure;
+        _stopAt = _sys.now() + warmup + measure;
         for (auto &cli : _clients)
             floodLoop(*cli);
-        _sys.eq().runFor(warmup);
+        _sys.runFor(warmup);
         const std::uint64_t done0 = _server->totalProcessed();
-        _sys.eq().runFor(measure);
+        _sys.runFor(measure);
         const std::uint64_t done1 = _server->totalProcessed();
         Point p;
         p.mrps = sim::ratePerSec(done1 - done0, measure) / 1e6;
@@ -174,11 +180,13 @@ class EchoRig
     void
     floodLoop(rpc::RpcClient &cli)
     {
-        if (_sys.eq().now() >= _stopAt)
+        // The send loop runs in the client node's domain.
+        sim::EventQueue &eq = _clientNode->eq();
+        if (eq.now() >= _stopAt)
             return;
         cli.callAsync(1, _payload.data(), _payload.size());
-        _sys.eq().schedule(_sys.sendCpuCost(*_clientNode),
-                           [this, &cli] { floodLoop(cli); });
+        eq.schedule(_sys.sendCpuCost(*_clientNode),
+                    [this, &cli] { floodLoop(cli); });
     }
 
     void
@@ -193,13 +201,14 @@ class EchoRig
     void
     fireOpenLoop(rpc::RpcClient &cli, double mrps)
     {
-        if (_sys.eq().now() >= _stopAt)
+        sim::EventQueue &eq = _clientNode->eq();
+        if (eq.now() >= _stopAt)
             return;
         const double mean_gap_ns = 1000.0 / mrps;
-        _sys.eq().schedule(
+        eq.schedule(
             sim::nsToTicks(_rng.exponential(mean_gap_ns)),
             [this, &cli, mrps] {
-                if (_sys.eq().now() < _stopAt)
+                if (_clientNode->eq().now() < _stopAt)
                     cli.callAsync(1, _payload.data(), _payload.size());
                 fireOpenLoop(cli, mrps);
             });
@@ -208,7 +217,7 @@ class EchoRig
     Point
     measureWindow(sim::Tick warmup, sim::Tick measure)
     {
-        _sys.eq().runFor(warmup);
+        _sys.runFor(warmup);
         std::uint64_t done0 = 0, sent0 = 0, fail0 = 0;
         for (auto &cli : _clients) {
             done0 += cli->responses();
@@ -216,7 +225,7 @@ class EchoRig
             fail0 += cli->sendFailures();
             cli->latency().reset();
         }
-        _sys.eq().runFor(measure);
+        _sys.runFor(measure);
         std::uint64_t done1 = 0, sent1 = 0, fail1 = 0;
         sim::Histogram lat;
         for (auto &cli : _clients) {
@@ -239,8 +248,8 @@ class EchoRig
 
     Options _opt;
     rpc::DaggerSystem _sys;
-    rpc::CpuSet _clientCpus;
-    rpc::CpuSet _serverCpus;
+    std::unique_ptr<rpc::CpuSet> _clientCpus;
+    std::unique_ptr<rpc::CpuSet> _serverCpus;
     sim::Rng _rng;
     rpc::DaggerNode *_clientNode;
     rpc::DaggerNode *_serverNode;
@@ -293,6 +302,26 @@ class WallTimer
   private:
     std::chrono::steady_clock::time_point _start; // dagger-lint: allow(no-wallclock)
 };
+
+/** ShardedEngine clock source: monotonic host nanoseconds.  Wall time
+ *  feeds busy/stall accounting only, never a simulated quantity. */
+inline std::uint64_t
+engineClockNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // dagger-lint: allow(no-wallclock)
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Arm busy/stall accounting on @p sys's engine (no-op unsharded). */
+inline void
+attachEngineClock(rpc::DaggerSystem &sys)
+{
+    if (sim::ShardedEngine *e = sys.engine())
+        e->setClock(&engineClockNs);
+}
 
 /**
  * Parallel scenario runner.
@@ -438,13 +467,20 @@ class BenchContext
                     : defaultJsonPath();
             } else if (a.rfind("--json=", 0) == 0) {
                 _jsonPath = a.substr(7);
+            } else if (a == "--shards" && i + 1 < argc) {
+                _shards = parseShards(argv[++i]);
+            } else if (a.rfind("--shards=", 0) == 0) {
+                _shards = parseShards(a.substr(9).c_str());
             } else if (a == "--strict") {
                 _strict = true;
             } else if (a == "--help" || a == "-h") {
                 std::printf(
-                    "usage: %s [--jobs N] [--json [PATH]] [--strict]\n"
+                    "usage: %s [--jobs N] [--shards N] [--json [PATH]] "
+                    "[--strict]\n"
                     "  --jobs N      scenario worker threads (default: "
                     "DAGGER_BENCH_JOBS or hardware threads)\n"
+                    "  --shards N    event-engine domains per system "
+                    "(default 1: classic single queue)\n"
                     "  --json [PATH] write results to PATH (default "
                     "%s)\n"
                     "  --strict      exit nonzero when a paper anchor "
@@ -459,6 +495,8 @@ class BenchContext
 
     const std::string &name() const { return _name; }
     bool strict() const { return _strict; }
+    /** Event-engine domains per DaggerSystem (--shards; 1 = classic). */
+    unsigned shards() const { return _shards; }
     unsigned jobs() const { return SweepRunner(_jobs).jobs(); }
     SweepRunner runner() const { return SweepRunner(_jobs); }
     bool jsonRequested() const { return !_jsonPath.empty(); }
@@ -583,6 +621,13 @@ class BenchContext
         return n >= 1 ? static_cast<unsigned>(n) : 1;
     }
 
+    static unsigned
+    parseShards(const char *s)
+    {
+        const long n = std::strtol(s, nullptr, 10);
+        return n >= 1 ? static_cast<unsigned>(n) : 1;
+    }
+
     std::string defaultJsonPath() const { return "BENCH_" + _name + ".json"; }
 
     std::string
@@ -592,6 +637,7 @@ class BenchContext
         out += "\"bench\": \"" + sim::jsonEscape(_name) + "\",\n";
         out += "\"seed\": " + std::to_string(_seed) + ",\n";
         out += "\"jobs\": " + std::to_string(jobs()) + ",\n";
+        out += "\"shards\": " + std::to_string(_shards) + ",\n";
         out += "\"wall_clock_sec\": " + sim::jsonNumber(wall) + ",\n";
         out += "\"config\": {";
         for (std::size_t i = 0; i < _config.size(); ++i) {
@@ -628,6 +674,7 @@ class BenchContext
     std::string _name;
     std::chrono::steady_clock::time_point _start; // dagger-lint: allow(no-wallclock)
     unsigned _jobs = 0; ///< 0 = SweepRunner default
+    unsigned _shards = 1;
     bool _strict = false;
     std::string _jsonPath;
     std::uint64_t _seed = 0;
@@ -636,6 +683,44 @@ class BenchContext
     std::vector<std::pair<std::string, bool>> _checks;
     std::vector<Anchor> _anchors;
 };
+
+/**
+ * Append per-shard busy time and the barrier-stall fraction to @p pt:
+ * `busy_ms_shard<i>` for every shard, `parallel_ms`/`serial_ms` phase
+ * spans, and `barrier_stall_frac` — the fraction of the parallel-phase
+ * wall time the workers spent *not* executing events (idle at the
+ * lookahead barrier or waiting on uneven shard load).  Requires
+ * attachEngineClock() before the run; all zeros otherwise.
+ */
+inline void
+recordEngineTiming(BenchPoint &pt, sim::ShardedEngine &e)
+{
+    std::uint64_t busy_sum = 0; // parallel shards only (1..S-1)
+    for (unsigned s = 0; s < e.shards(); ++s) {
+        pt.value("busy_ms_shard" + std::to_string(s),
+                 static_cast<double>(e.busyNs(s)) / 1e6);
+        if (s >= 1)
+            busy_sum += e.busyNs(s);
+    }
+    pt.value("parallel_ms", static_cast<double>(e.parallelNs()) / 1e6);
+    pt.value("serial_ms", static_cast<double>(e.serialNs()) / 1e6);
+    // With w workers the parallel phase offers w*parallelNs of worker
+    // wall time; whatever is not shard busy time is barrier stall.
+    const double lanes = static_cast<double>(std::max(1u, e.workers()));
+    const double offered = lanes * static_cast<double>(e.parallelNs());
+    const double stall = offered <= 0.0
+        ? 0.0
+        : std::max(0.0, 1.0 - static_cast<double>(busy_sum) / offered);
+    pt.value("barrier_stall_frac", stall);
+}
+
+/** DaggerSystem convenience overload (no-op on unsharded systems). */
+inline void
+recordEngineTiming(BenchPoint &pt, rpc::DaggerSystem &sys)
+{
+    if (sim::ShardedEngine *e = sys.engine())
+        recordEngineTiming(pt, *e);
+}
 
 /** Shared bench entry point: flag parsing, run, JSON emit, exit code. */
 inline int

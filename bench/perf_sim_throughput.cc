@@ -22,13 +22,16 @@
  * wall_ms / events_per_sec fields vary with the host.
  */
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/sharded_engine.hh"
 #include "sim/time.hh"
 
 namespace {
@@ -53,6 +56,13 @@ struct PerfResult
     double wallSec = 0;
     double mrps = 0;
     EventQueue::EngineStats stats;
+    // Sharded-storm extras (zero elsewhere).
+    unsigned shards = 0;
+    unsigned workers = 0;
+    std::vector<double> busyMs;     ///< per shard
+    double parallelMs = 0;
+    double serialMs = 0;
+    double stallFrac = 0;
 };
 
 /**
@@ -94,6 +104,132 @@ struct Storm
         eq.schedule(d, std::move(next), prio);
     }
 };
+
+/**
+ * The storm under the sharded engine: the population is split over the
+ * parallel shards (shard 0, the serial domain, stays empty), each
+ * shard draws from its own seeded Rng, and 1/16 of the steps hop to
+ * the next parallel shard through the engine's cross-domain mailboxes
+ * with a delay >= the lookahead.  Every actor only ever touches its
+ * own shard's state from that shard's execution context, and stop
+ * conditions are per-actor step budgets — no cross-thread reads — so
+ * the simulated schedule is identical at any worker count.
+ */
+struct ShardedStorm
+{
+    struct Actor
+    {
+        ShardedStorm *storm = nullptr;
+        unsigned shard = 0;
+        dagger::sim::Rng rng{0};
+        std::uint64_t steps = 0;
+        std::uint64_t budget = 0;
+
+        void
+        step()
+        {
+            if (steps >= budget)
+                return;
+            ++steps;
+            const std::uint64_t r = rng.next64();
+            dagger::sim::TickDelta d;
+            if ((r & 3) != 0) // 3:1 near-future vs far-future delays
+                d = 1 + (r >> 2) % dagger::sim::usToTicks(8);
+            else
+                d = dagger::sim::usToTicks(16) +
+                    (r >> 2) % dagger::sim::usToTicks(184);
+            const auto prio = static_cast<dagger::sim::Priority>(
+                ((r >> 32) % 3) * 100);
+            dagger::sim::ShardedEngine &eng = *storm->eng;
+            const unsigned nshards = eng.shards();
+            if (nshards > 2 && (r >> 34) % 16 == 0) {
+                // Hop to the next parallel shard; the extra delay keeps
+                // the hand-off at or beyond the conservative window.
+                const unsigned to = shard + 1 == nshards ? 1 : shard + 1;
+                eng.postCross(shard, to, eng.lookahead() + d,
+                              [a = &storm->actors[to]] { a->step(); },
+                              prio);
+            } else {
+                eng.queue(shard).schedule(d, [this] { step(); }, prio);
+            }
+        }
+    };
+
+    EventQueue q0;
+    std::unique_ptr<dagger::sim::ShardedEngine> eng;
+    std::vector<Actor> actors; ///< index == shard; [0] unused
+
+    explicit ShardedStorm(unsigned shards)
+    {
+        eng = std::make_unique<dagger::sim::ShardedEngine>(
+            q0, shards, dagger::sim::usToTicks(4));
+        const unsigned parallel = shards - 1;
+        actors.resize(shards);
+        for (unsigned s = 1; s < shards; ++s) {
+            actors[s].storm = this;
+            actors[s].shard = s;
+            actors[s].rng =
+                dagger::sim::Rng(kStormSeed ^ (0x9e3779b97f4a7c15ull * s));
+            actors[s].budget = kStormTarget / parallel;
+        }
+        const unsigned per = kStormPopulation / parallel;
+        for (unsigned s = 1; s < shards; ++s)
+            for (unsigned c = 0; c < per; ++c)
+                eng->queue(s).schedule(c % 1024,
+                                       [a = &actors[s]] { a->step(); });
+    }
+};
+
+PerfResult runStorm();
+
+PerfResult
+runShardedStorm(unsigned shards)
+{
+    if (shards <= 1) {
+        // The --shards 1 row is the classic single-queue engine on the
+        // same workload family: the PR4-comparable baseline.
+        PerfResult res = runStorm();
+        res.scenario = "storm-sharded";
+        res.shards = 1;
+        return res;
+    }
+    PerfResult res;
+    res.scenario = "storm-sharded";
+    ShardedStorm s(shards);
+    s.eng->setClock(&dagger::bench::engineClockNs);
+    res.shards = shards;
+    res.workers = s.eng->workers();
+    WallTimer timer;
+    // Each step schedules at most one successor, so once every actor
+    // exhausts its budget the queues drain and executed() goes flat.
+    std::uint64_t prev = ~std::uint64_t{0};
+    while (s.eng->executed() != prev) {
+        prev = s.eng->executed();
+        s.eng->runFor(dagger::sim::msToTicks(1));
+    }
+    res.wallSec = timer.seconds();
+    res.events = s.eng->executed();
+    res.finalTick = s.eng->now();
+    res.stats = s.eng->aggregateStats();
+    std::uint64_t busy_sum = 0;
+    for (unsigned sh = 0; sh < shards; ++sh) {
+        res.busyMs.push_back(
+            static_cast<double>(s.eng->busyNs(sh)) / 1e6);
+        if (sh >= 1)
+            busy_sum += s.eng->busyNs(sh);
+    }
+    res.parallelMs = static_cast<double>(s.eng->parallelNs()) / 1e6;
+    res.serialMs = static_cast<double>(s.eng->serialNs()) / 1e6;
+    const double lanes = static_cast<double>(
+        std::max(1u, s.eng->workers()));
+    const double offered =
+        lanes * static_cast<double>(s.eng->parallelNs());
+    res.stallFrac = offered <= 0.0
+        ? 0.0
+        : std::max(0.0,
+                   1.0 - static_cast<double>(busy_sum) / offered);
+    return res;
+}
 
 PerfResult
 runStorm()
@@ -162,8 +298,10 @@ run(BenchContext &ctx)
     ctx.config("frame_ticks",
                static_cast<double>(Tick{1} << EventQueue::kFrameShift));
 
+    const unsigned shards = ctx.shards();
     std::vector<std::function<PerfResult()>> scenarios;
     scenarios.emplace_back(runStorm);
+    scenarios.emplace_back([shards] { return runShardedStorm(shards); });
     for (unsigned t : {1u, 2u, 4u})
         scenarios.emplace_back([t] { return runEcho(t); });
     const std::vector<PerfResult> results =
@@ -171,10 +309,10 @@ run(BenchContext &ctx)
 
     dagger::bench::tableHeader(
         "Simulator event-engine throughput",
-        "scenario      threads   events       events/sec    wall-ms");
+        "scenario       threads shards  events       events/sec    wall-ms");
     for (const PerfResult &r : results)
-        std::printf("%-12s  %7u   %9llu   %10.0f   %8.1f\n",
-                    r.scenario.c_str(), r.threads,
+        std::printf("%-13s  %6u %6u   %9llu   %10.0f   %8.1f\n",
+                    r.scenario.c_str(), r.threads, r.shards,
                     static_cast<unsigned long long>(r.events),
                     eventsPerSec(r), r.wallSec * 1e3);
 
@@ -197,6 +335,16 @@ run(BenchContext &ctx)
                               static_cast<double>(r.stats.maxPending));
         if (r.scenario == "echo")
             pt.value("mrps", r.mrps);
+        if (r.scenario == "storm-sharded") {
+            pt.value("shards", r.shards);
+            pt.value("engine_workers", r.workers);
+            for (std::size_t s = 0; s < r.busyMs.size(); ++s)
+                pt.value("busy_ms_shard" + std::to_string(s),
+                         r.busyMs[s]);
+            pt.value("parallel_ms", r.parallelMs);
+            pt.value("serial_ms", r.serialMs);
+            pt.value("barrier_stall_frac", r.stallFrac);
+        }
     }
 
     const PerfResult &storm = results.front();
@@ -213,10 +361,19 @@ run(BenchContext &ctx)
     ctx.check("every scenario reports a positive event rate", positive);
     // More fleet => more simulated work in the same measured window;
     // the event count is a simulated quantity, so this is deterministic.
-    const PerfResult &echo1 = results[1];
-    const PerfResult &echo4 = results[3];
+    const PerfResult &echo1 = results[2];
+    const PerfResult &echo4 = results[4];
     ctx.check("echo fleet event count scales with threads",
               echo4.events > echo1.events);
+    const PerfResult &shst = results[1];
+    const std::uint64_t shst_budget = shards <= 1
+        ? kStormTarget
+        : (kStormTarget / (shards - 1)) * (shards - 1);
+    ctx.check("sharded storm executes its full step budget",
+              shst.events >= shst_budget);
+    if (shards > 1)
+        ctx.check("sharded storm runs off the per-shard event pools",
+                  poolHitRate(shst.stats) >= 0.98);
 }
 
 } // namespace

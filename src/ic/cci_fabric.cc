@@ -2,6 +2,7 @@
 
 #include "sim/check.hh"
 #include "sim/logging.hh"
+#include "sim/sharded_engine.hh"
 
 namespace dagger::ic {
 
@@ -112,6 +113,23 @@ CciFabric::hostTxCpuCost(unsigned batch) const
     return ic::hostTxCpuCost(_kind, batch, _upi, _pcie);
 }
 
+void
+CciPort::bindHost(sim::ShardedEngine &engine, unsigned shard,
+                  EventQueue &hostEq)
+{
+    dagger_assert(shard >= 1,
+                  "CCI ports belong to node domains; shard 0 is the fabric");
+    _engine = &engine;
+    _shard = shard;
+    _hostEq = &hostEq;
+}
+
+EventQueue &
+CciPort::hostEq()
+{
+    return _hostEq ? *_hostEq : _fabric._eq;
+}
+
 Tick
 CciPort::hostPollPenalty() const
 {
@@ -163,9 +181,9 @@ CciPort::bookkeep(EventFn done)
     // empty `done` still schedules a no-op so event counts (and thus
     // seq-number assignment) match the previous engine exactly.
     if (done)
-        _fabric._eq.schedule(extra, std::move(done), sim::Priority::Hardware);
+        hostEq().schedule(extra, std::move(done), sim::Priority::Hardware);
     else
-        _fabric._eq.schedule(extra, [] {}, sim::Priority::Hardware);
+        hostEq().schedule(extra, [] {}, sim::Priority::Hardware);
 }
 
 void
@@ -201,6 +219,35 @@ CciPort::issue(Op op)
     Channel &ch = op.to_nic ? _fabric._toNic : _fabric._toHost;
     const Tick extra = op.extra_latency;
     auto done = std::move(op.done);
+    if (_engine) {
+        // Sharded mode: channel arbitration state is owned by the
+        // fabric domain, so hand the request over as an apply (it runs
+        // at its exact sequential position in the serial phase).  The
+        // grant fires in the fabric domain and crosses back with the
+        // propagation latency, which is one of the latencies the
+        // engine lookahead is derived from — so the hand-off is always
+        // at least one window ahead.
+        const unsigned lines = op.lines;
+        const bool streamed = op.streamed;
+        _engine->postApply(
+            _shard,
+            [this, &ch, lines, extra, streamed,
+             done = std::move(done)]() mutable {
+                ch.request(_id, lines,
+                           [this, extra, done = std::move(done)]() mutable {
+                               _engine->postCross(
+                                   0, _shard, extra,
+                                   [this, done = std::move(done)]() {
+                                       completed();
+                                       if (done)
+                                           done();
+                                   },
+                                   sim::Priority::Hardware);
+                           },
+                           streamed);
+            });
+        return;
+    }
     ch.request(_id, op.lines,
                [this, extra, done = std::move(done)]() mutable {
                    // Channel service finished; propagation takes `extra`.

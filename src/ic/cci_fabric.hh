@@ -23,6 +23,10 @@
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
 
+namespace dagger::sim {
+class ShardedEngine;
+}
+
 namespace dagger::ic {
 
 class CciFabric;
@@ -65,6 +69,15 @@ class CciPort
      */
     void rawRead(EventFn done);
 
+    /**
+     * Sharded-engine wiring (rpc::DaggerSystem): channel arbitration
+     * stays in the fabric domain (shard 0) while the outstanding
+     * window and every completion run in the owning node's domain on
+     * @p hostEq.  Call before traffic.
+     */
+    void bindHost(sim::ShardedEngine &engine, unsigned shard,
+                  EventQueue &hostEq);
+
     void setPollMode(PollMode mode) { _pollMode = mode; }
     PollMode pollMode() const { return _pollMode; }
 
@@ -95,9 +108,15 @@ class CciPort
     void submit(Op op);
     void issue(Op op);
     void completed();
+    /** Queue completions land on: the owning node's shard queue on a
+     *  sharded system, the fabric's queue otherwise. */
+    EventQueue &hostEq();
 
     CciFabric &_fabric;
     unsigned _id;
+    sim::ShardedEngine *_engine = nullptr;
+    unsigned _shard = 0;
+    EventQueue *_hostEq = nullptr;
     PollMode _pollMode = PollMode::LocalCache;
     unsigned _inFlight = 0;
     std::deque<Op> _pendingWindow; ///< ops waiting for an outstanding slot

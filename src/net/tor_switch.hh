@@ -25,6 +25,10 @@
 #include "sim/metrics.hh"
 #include "sim/time.hh"
 
+namespace dagger::sim {
+class ShardedEngine;
+}
+
 namespace dagger::net {
 
 using sim::EventQueue;
@@ -70,16 +74,17 @@ class SwitchPort
      * Install a fault injector on this port's *delivery* side: every
      * packet that finishes egress serialization is handed to @p fi
      * instead of the receiver, and @p fi decides whether (and when) it
-     * reaches the receiver.  nullptr uninstalls.
+     * reaches the receiver.  nullptr uninstalls.  Not available on a
+     * sharded system (the injector is a single-domain component).
      */
-    void setFaultInjector(FaultInjector *fi) { _fault = fi; }
+    void setFaultInjector(FaultInjector *fi);
 
     NodeId node() const { return _node; }
 
   private:
     friend class TorSwitch;
     friend class FaultInjector;
-    SwitchPort(TorSwitch &sw, NodeId node) : _switch(sw), _node(node) {}
+    SwitchPort(TorSwitch &sw, NodeId node);
 
     void deliver(Packet pkt);
     /** Final hop: hand @p pkt to the receiver, bypassing the injector. */
@@ -87,8 +92,19 @@ class SwitchPort
 
     TorSwitch &_switch;
     NodeId _node;
+    /** Domain this port (and its whole egress pipeline) runs in: the
+     *  owning node's shard queue on a sharded system, the switch's
+     *  queue otherwise. */
+    EventQueue *_eq;
+    unsigned _shard = 0;
     FaultInjector *_fault = nullptr;
     std::function<void(Packet)> _receiver;
+
+    // Per-port counters so a sharded run never shares a cache line of
+    // statistics across domains; the switch accessors sum them.
+    std::uint64_t _forwarded = 0;  ///< packets serialized out (egress)
+    std::uint64_t _dropped = 0;    ///< egress-queue overflows (egress)
+    std::uint64_t _unroutable = 0; ///< sends to unknown nodes (ingress)
 
     // Egress side (switch -> this port).
     std::deque<Packet> _egressQueue;
@@ -121,17 +137,27 @@ class TorSwitch
     /** Attach (or fetch) the port for @p node. */
     SwitchPort &attach(NodeId node);
 
-    std::uint64_t forwarded() const { return _forwarded; }
-    std::uint64_t dropped() const { return _dropped; }
+    /**
+     * Sharded-engine wiring (rpc::DaggerSystem): the switch fabric
+     * keeps its routing table, but each port's egress pipeline runs in
+     * the owning node's domain.  Call before traffic.
+     */
+    void bindEngine(sim::ShardedEngine *engine) { _engine = engine; }
+    /** Place @p node's port (ingress + egress) on @p shard / @p eq. */
+    void bindPort(NodeId node, EventQueue &eq, unsigned shard);
+
+    std::uint64_t forwarded() const;
+    std::uint64_t dropped() const;
     EventQueue &eventQueue() { return _eq; }
+    Tick hopDelay() const { return _hopDelay; }
 
     /** Register switch statistics under @p scope. */
     void
     registerMetrics(sim::MetricScope scope)
     {
-        scope.intGauge("forwarded", [this] { return _forwarded; },
+        scope.intGauge("forwarded", [this] { return forwarded(); },
                        sim::MetricText::Show, "tor_forwarded");
-        scope.intGauge("dropped", [this] { return _dropped; },
+        scope.intGauge("dropped", [this] { return dropped(); },
                        sim::MetricText::Show, "tor_dropped");
     }
 
@@ -144,12 +170,11 @@ class TorSwitch
     void egressDone(SwitchPort &port);
 
     EventQueue &_eq;
+    sim::ShardedEngine *_engine = nullptr;
     Tick _hopDelay;
     Tick _byteTime;
     std::size_t _queueCap;
     std::vector<std::unique_ptr<SwitchPort>> _ports; // indexed by NodeId
-    std::uint64_t _forwarded = 0;
-    std::uint64_t _dropped = 0;
 };
 
 } // namespace dagger::net

@@ -105,7 +105,7 @@ RpcClient::issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
             _pending.erase(it);
             return;
         }
-        it->second.sentAt = _node.system().eq().now();
+        it->second.sentAt = _node.eq().now();
         ++_sent;
     });
     if (_retry.enabled())
@@ -138,7 +138,7 @@ RpcClient::armCallTimer(proto::RpcId rpc_id, sim::Tick timeout)
     // One timer per in-flight retried call; hot under loss, so it must
     // stay on the event pool's allocation-free path.
     static_assert(sim::EventClosure::fitsInline<decltype(expire)>());
-    _node.system().eq().schedule(timeout, std::move(expire));
+    _node.eq().schedule(timeout, std::move(expire));
 }
 
 void
@@ -232,7 +232,7 @@ RpcClient::processResponses()
                         } else {
                             ++_responses;
                             _node.system().reliability().completions.inc();
-                            const sim::Tick now = _node.system().eq().now();
+                            const sim::Tick now = _node.eq().now();
                             if (it->second.sentAt)
                                 _latency.record(now - it->second.sentAt);
                             if (it->second.attempt > 0)

@@ -5,7 +5,9 @@
 namespace dagger::rpc {
 
 WorkerPool::WorkerPool(DaggerSystem &sys, std::vector<HwThread *> workers)
-    : _sys(sys), _workers(std::move(workers))
+    : _sys(sys), _workers(std::move(workers)),
+      _eq(_workers.empty() ? sys.eq()
+                           : _workers.front()->core().eventQueue())
 {
     dagger_assert(!_workers.empty(), "worker pool needs threads");
 }
@@ -16,7 +18,7 @@ WorkerPool::submit(sim::Tick cost, sim::EventFn fn)
     ++_submitted;
     const sim::Tick delay = _sys.swCost().workerHandoffDelay;
     _handoff.push_back(Handoff{cost, std::move(fn)});
-    _sys.eq().schedule(delay, [this] { dispatchOne(); });
+    _eq.schedule(delay, [this] { dispatchOne(); });
 }
 
 void

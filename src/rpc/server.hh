@@ -75,6 +75,10 @@ class WorkerPool
 
     DaggerSystem &_sys;
     std::vector<HwThread *> _workers;
+    /** The workers' domain queue: handoff events must fire where the
+     *  worker threads live, which on a sharded system is the owning
+     *  node's shard — never the system-wide queue. */
+    sim::EventQueue &_eq;
     /** Work waiting out the handoff delay.  Parked here so each
      *  scheduled handoff event captures only `this`; the fixed delay
      *  makes event order == submit order == deque order (FIFO). */

@@ -25,6 +25,7 @@
 #include "rpc/sw_cost.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
+#include "sim/sharded_engine.hh"
 
 namespace dagger::rpc {
 
@@ -37,6 +38,13 @@ class DaggerNode
     nic::DaggerNic &nicDev() { return *_nic; }
     net::NodeId id() const { return _id; }
 
+    /** Event queue this node's domain runs on: its shard queue on a
+     *  sharded system, the system queue otherwise.  Everything acting
+     *  on behalf of this node (clients, server threads, services) must
+     *  schedule here, never on DaggerSystem::eq() directly. */
+    sim::EventQueue &eq() { return *_eq; }
+    unsigned shard() const { return _shard; }
+
     FlowRings &flow(unsigned i);
     unsigned numFlows() const { return static_cast<unsigned>(_rings.size()); }
     DaggerSystem &system() { return *_system; }
@@ -47,6 +55,8 @@ class DaggerNode
 
     DaggerSystem *_system = nullptr;
     net::NodeId _id = 0;
+    sim::EventQueue *_eq = nullptr;
+    unsigned _shard = 0;
     std::vector<std::unique_ptr<FlowRings>> _rings;
     std::unique_ptr<nic::DaggerNic> _nic;
 };
@@ -69,10 +79,16 @@ class DaggerSystem
 {
   public:
     /**
-     * @param iface CPU-NIC interface flavour for all nodes
+     * @param iface  CPU-NIC interface flavour for all nodes
+     * @param shards event-engine domains: 1 keeps the classic
+     *               single-queue engine; N >= 2 runs the fabric/ToR on
+     *               shard 0 and spreads nodes over shards 1..N-1 under
+     *               the sharded parallel engine (sim/sharded_engine.hh)
+     *               with an identical event order.
      */
     explicit DaggerSystem(ic::IfaceKind iface = ic::IfaceKind::Upi,
-                          ic::UpiCost upi = {}, ic::PcieCost pcie = {});
+                          ic::UpiCost upi = {}, ic::PcieCost pcie = {},
+                          unsigned shards = 1);
 
     /** Create a node (NIC instance + rings); returns a stable ref. */
     DaggerNode &addNode(nic::NicConfig cfg = {}, nic::SoftConfig soft = {});
@@ -95,9 +111,43 @@ class DaggerSystem
     /** Close a connection on both sides. */
     void disconnect(proto::ConnId id);
 
+    /** Shard 0's queue (fabric/ToR domain).  Per-node work must use
+     *  DaggerNode::eq(); driving time forward must use runFor() /
+     *  runUntilTick() so every domain advances. */
     sim::EventQueue &eq() { return _eq; }
     ic::CciFabric &fabric() { return _fabric; }
     net::TorSwitch &tor() { return _tor; }
+
+    /** The sharded engine, or nullptr on a single-queue system. */
+    sim::ShardedEngine *engine() { return _engine.get(); }
+    unsigned shards() const { return _engine ? _engine->shards() : 1; }
+
+    /** Committed simulated time (every domain has run through it). */
+    sim::Tick now() const { return _engine ? _engine->now() : _eq.now(); }
+
+    void
+    runFor(sim::TickDelta window)
+    {
+        if (_engine)
+            _engine->runFor(window);
+        else
+            _eq.runFor(window);
+    }
+
+    void
+    runUntilTick(sim::Tick when)
+    {
+        if (_engine)
+            _engine->runUntil(when);
+        else
+            _eq.runUntil(when);
+    }
+
+    std::uint64_t
+    eventsExecuted() const
+    {
+        return _engine ? _engine->executed() : _eq.executed();
+    }
 
     /**
      * The system-wide metric registry.  Every component registers its
@@ -129,11 +179,17 @@ class DaggerSystem
         net::NodeId server;
     };
 
+    /** Pool/scheduler stats aggregated over every domain queue. */
+    sim::EventQueue::EngineStats engineStats() const;
+
     sim::MetricRegistry _metrics; ///< outlives everything registered in it
     ReliabilityStats _reliability;
     sim::EventQueue _eq;
     ic::CciFabric _fabric;
     net::TorSwitch _tor;
+    /** Destroyed before _tor/_fabric/_eq (reverse member order): joins
+     *  its workers and releases the shard queues they ran. */
+    std::unique_ptr<sim::ShardedEngine> _engine;
     SwCost _swCost;
     std::vector<std::unique_ptr<DaggerNode>> _nodes;
     std::vector<ConnRecord> _conns; // index = ConnId - 1

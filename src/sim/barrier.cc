@@ -1,0 +1,27 @@
+#include "sim/barrier.hh"
+
+#include "sim/check.hh"
+
+namespace dagger::sim {
+
+RoundBarrier::RoundBarrier(unsigned parties) : _parties(parties)
+{
+    dagger_assert(parties >= 1, "barrier needs at least one party");
+}
+
+void
+RoundBarrier::arriveAndWait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    const std::uint64_t gen = _generation;
+    if (++_waiting == _parties) {
+        _waiting = 0;
+        ++_generation;
+        lock.unlock();
+        _cv.notify_all();
+        return;
+    }
+    _cv.wait(lock, [this, gen] { return _generation != gen; });
+}
+
+} // namespace dagger::sim

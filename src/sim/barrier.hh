@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Round barrier for the sharded engine's worker pool.
+ *
+ * A classic generation-counting barrier: @p parties threads call
+ * arriveAndWait(); the last arrival bumps the generation and wakes the
+ * rest.  The sharded engine uses two of these per round — a start gate
+ * (coordinator publishes the window, workers pick it up) and a done
+ * gate (workers publish their window's results, coordinator runs the
+ * serial merge phase) — so the mutex/condvar pair also provides the
+ * happens-before edges the mailbox hand-offs rely on.
+ */
+
+#ifndef DAGGER_SIM_BARRIER_HH
+#define DAGGER_SIM_BARRIER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dagger::sim {
+
+class RoundBarrier
+{
+  public:
+    explicit RoundBarrier(unsigned parties);
+
+    /** Block until all parties of the current generation arrived. */
+    void arriveAndWait();
+
+    unsigned parties() const { return _parties; }
+
+  private:
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    unsigned _parties;
+    unsigned _waiting = 0;
+    std::uint64_t _generation = 0;
+};
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_BARRIER_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cross-domain event hand-off for the sharded engine.
+ *
+ * A sharded simulation (sharded_engine.hh) never lets a handler call
+ * schedule() on another shard's EventQueue: cross-domain events travel
+ * through single-producer/single-consumer mailboxes instead, one per
+ * (source shard, destination shard) pair, and are admitted into the
+ * destination queue at the next conservative-lookahead barrier.
+ *
+ * Every hand-off carries an EventStamp — the (tick, priority, domain,
+ * intra-domain sequence) of the *scheduling* context — so the
+ * destination shard can admit a whole barrier batch in exactly the
+ * order the single-queue engine would have assigned insertion
+ * sequence numbers.  That stamp order is what makes the sharded merge
+ * byte-identical to the sequential engine (docs/PERF.md).
+ */
+
+#ifndef DAGGER_SIM_MAILBOX_HH
+#define DAGGER_SIM_MAILBOX_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace dagger::sim {
+
+/**
+ * Where (in simulated causality) a deferred event was born: the tick
+ * and dispatch priority of the handler that scheduled it, the shard
+ * that handler ran on, and a per-shard monotonic counter.  Batches are
+ * admitted in stamp order, which reproduces the single-queue engine's
+ * global insertion-sequence order for every pair of events whose
+ * relative order can affect the simulation (see sharded_engine.cc for
+ * the ordering argument).
+ */
+struct EventStamp
+{
+    Tick birthTick = 0;
+    std::uint32_t birthPrio = 0;
+    std::uint32_t birthDomain = 0;
+    std::uint64_t birthIntra = 0;
+};
+
+/** Strict lexicographic (tick, priority, domain, intra) order. */
+inline bool
+stampBefore(const EventStamp &a, const EventStamp &b)
+{
+    if (a.birthTick != b.birthTick)
+        return a.birthTick < b.birthTick;
+    if (a.birthPrio != b.birthPrio)
+        return a.birthPrio < b.birthPrio;
+    if (a.birthDomain != b.birthDomain)
+        return a.birthDomain < b.birthDomain;
+    return a.birthIntra < b.birthIntra;
+}
+
+/** One deferred event: target key plus the closure and its stamp. */
+struct CrossEvent
+{
+    Tick when = 0;
+    Priority prio = Priority::Default;
+    EventStamp stamp;
+    EventFn fn;
+};
+
+/**
+ * Lock-light single-producer/single-consumer mailbox.
+ *
+ * The fast path is a fixed-capacity ring with acquire/release indices
+ * (no locks, no CAS).  When a window produces more than kRingCapacity
+ * events the excess spills to a mutex-protected overflow deque — rare,
+ * counted, and still FIFO: the producer keeps using the overflow until
+ * the consumer has drained it, so hand-off order is preserved.
+ *
+ * Usage contract (what makes SPSC sufficient): exactly one shard
+ * produces into a given mailbox while running a window, and exactly
+ * one shard drains it during barrier admission; the engine's barrier
+ * provides the round-level ordering between the two phases.
+ */
+template <typename T>
+class SpscMailbox
+{
+  public:
+    static constexpr std::size_t kRingCapacity = 1024;
+    static_assert((kRingCapacity & (kRingCapacity - 1)) == 0,
+                  "ring capacity must be a power of two");
+
+    SpscMailbox() : _ring(kRingCapacity) {}
+    SpscMailbox(const SpscMailbox &) = delete;
+    SpscMailbox &operator=(const SpscMailbox &) = delete;
+
+    /** Producer side: enqueue one item. */
+    void
+    push(T &&item)
+    {
+        const std::size_t tail = _tail.load(std::memory_order_relaxed);
+        const std::size_t head = _head.load(std::memory_order_acquire);
+        bool ringFull = tail - head >= kRingCapacity;
+        if (ringFull || _producerOverflowing) {
+            // Overflow path: stay on it until the consumer has emptied
+            // the deque, so FIFO order across the two containers holds
+            // (every ring item predates every live overflow item).
+            std::lock_guard<std::mutex> lock(_overflowMutex);
+            if (!_overflow.empty() || ringFull) {
+                _overflow.push_back(std::move(item));
+                _producerOverflowing = true;
+                ++_overflowed;
+                return;
+            }
+            _producerOverflowing = false; // consumer caught up
+        }
+        _ring[tail & (kRingCapacity - 1)] = std::move(item);
+        _tail.store(tail + 1, std::memory_order_release);
+        const std::uint64_t depth =
+            static_cast<std::uint64_t>(tail - head) + 1;
+        if (depth > _highWater)
+            _highWater = depth;
+    }
+
+    /** Consumer side: pop everything currently visible, in FIFO order. */
+    template <typename Consume>
+    void
+    drain(Consume &&consume)
+    {
+        const std::size_t head = _head.load(std::memory_order_relaxed);
+        const std::size_t tail = _tail.load(std::memory_order_acquire);
+        for (std::size_t i = head; i != tail; ++i)
+            consume(std::move(_ring[i & (kRingCapacity - 1)]));
+        _head.store(tail, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(_overflowMutex);
+        while (!_overflow.empty()) {
+            consume(std::move(_overflow.front()));
+            _overflow.pop_front();
+        }
+    }
+
+    /** Producer-side high-water mark of the ring depth. */
+    std::uint64_t highWater() const { return _highWater; }
+
+    /** Items that had to take the overflow path. */
+    std::uint64_t overflowed() const { return _overflowed; }
+
+  private:
+    std::vector<T> _ring;
+    std::atomic<std::size_t> _head{0};
+    std::atomic<std::size_t> _tail{0};
+    /** Producer-owned: true while FIFO order routes via _overflow. */
+    bool _producerOverflowing = false;
+    std::uint64_t _highWater = 0;  ///< producer-owned
+    std::uint64_t _overflowed = 0; ///< producer-owned (guarded writes)
+    std::mutex _overflowMutex;
+    std::deque<T> _overflow;
+};
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_MAILBOX_HH

@@ -1,0 +1,54 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+
+#include "sim/check.hh"
+
+namespace dagger::sim {
+
+void
+Shard::admit(Tick end)
+{
+    if (_pending.empty())
+        return;
+    _admitBatch.clear();
+    std::size_t keep = 0;
+    for (auto &ev : _pending) {
+        if (ev.when < end)
+            _admitBatch.push_back(std::move(ev));
+        else
+            _pending[keep++] = std::move(ev);
+    }
+    _pending.resize(keep);
+    if (_admitBatch.empty())
+        return;
+    std::sort(_admitBatch.begin(), _admitBatch.end(),
+              [](const CrossEvent &a, const CrossEvent &b) {
+                  return stampBefore(a.stamp, b.stamp);
+              });
+    for (auto &ev : _admitBatch) {
+        dagger_assert(ev.when >= _queue.now(),
+                      "cross event admitted into this shard's past");
+        _queue.scheduleAt(ev.when, std::move(ev.fn), ev.prio);
+    }
+    _admitBatch.clear();
+}
+
+void
+Shard::spill(Tick when, EventFn &&fn, Priority prio)
+{
+    ++_stats.spills;
+    _pending.push_back(CrossEvent{when, prio, nextStamp(), std::move(fn)});
+}
+
+Tick
+Shard::pendingMin() const
+{
+    Tick min = UINT64_MAX;
+    for (const auto &ev : _pending)
+        if (ev.when < min)
+            min = ev.when;
+    return min;
+}
+
+} // namespace dagger::sim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-domain shard state for the sharded engine.
+ *
+ * A Shard pairs one EventQueue (one simulation domain: a NIC/host pair,
+ * or the fabric/ToR domain) with the bookkeeping the conservative-
+ * lookahead round protocol needs around it: the pending list of
+ * cross-domain events awaiting admission, the spill hook that diverts
+ * beyond-window admissions back into that list, and the stamp counter
+ * that lets a barrier batch be admitted in the sequential engine's
+ * insertion order (mailbox.hh).
+ *
+ * A Shard is single-threaded by contract: exactly one thread (its
+ * owning worker, or the coordinator) touches it during a round, and
+ * rounds are separated by barriers.
+ */
+
+#ifndef DAGGER_SIM_SHARD_HH
+#define DAGGER_SIM_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/mailbox.hh"
+#include "sim/time.hh"
+
+namespace dagger::sim {
+
+/**
+ * Deterministic per-shard counters.  These depend only on the event
+ * schedule, never on thread timing, so they are identical across
+ * worker counts (the sharded determinism test relies on that).
+ */
+struct ShardStats
+{
+    std::uint64_t crossSent = 0;   ///< events posted to another shard
+    std::uint64_t crossRecvd = 0;  ///< events drained from inboxes
+    std::uint64_t appliesSent = 0; ///< synchronous applies sent to shard 0
+    std::uint64_t spills = 0;      ///< local admissions deferred past a window
+    std::uint64_t windowsRun = 0;  ///< windows this shard executed
+};
+
+class Shard
+{
+  public:
+    Shard(EventQueue &queue, unsigned id) : _queue(queue), _id(id) {}
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    EventQueue &queue() { return _queue; }
+    const EventQueue &queue() const { return _queue; }
+    unsigned id() const { return _id; }
+
+    /**
+     * Stamp for an event being scheduled from this shard's current
+     * execution context: (tick, dispatch priority, shard, per-shard
+     * counter).  During a serial-phase apply the engine overrides the
+     * priority with the apply's birth priority, because the applied
+     * closure runs outside any queue handler but stands in for code
+     * that, sequentially, ran inside one.
+     */
+    EventStamp
+    nextStamp()
+    {
+        return EventStamp{
+            _queue.now(),
+            _prioOverride >= 0 ? static_cast<std::uint32_t>(_prioOverride)
+                               : _queue.currentPriority(),
+            _id, _intra++};
+    }
+
+    void setPrioOverride(std::uint32_t prio)
+    {
+        _prioOverride = static_cast<std::int64_t>(prio);
+    }
+    void clearPrioOverride() { _prioOverride = -1; }
+
+    /** Record a cross-post's target tick for conservative skip-ahead. */
+    void
+    notePosted(Tick when)
+    {
+        if (when < _postedMin)
+            _postedMin = when;
+        ++_stats.crossSent;
+    }
+
+    void noteApplySent() { ++_stats.appliesSent; }
+
+    /** Inbox drain target: move one received event onto the pending list. */
+    void
+    takeCross(CrossEvent &&ev)
+    {
+        ++_stats.crossRecvd;
+        _pending.push_back(std::move(ev));
+    }
+
+    /**
+     * Start a window ending (exclusively) at @p end: reset the posted
+     * minimum and divert admissions at/after @p end to the pending
+     * list, stamped with their scheduling context.
+     */
+    void
+    beginWindow(Tick end)
+    {
+        _postedMin = UINT64_MAX;
+        _queue.setSpillHorizon(end, &Shard::spillThunk, this);
+        ++_stats.windowsRun;
+    }
+
+    /**
+     * Admit every pending event with when < @p end into the queue, in
+     * stamp order — which makes the queue's insertion-sequence order
+     * for the batch match the sequential engine's (mailbox.hh).
+     */
+    void admit(Tick end);
+
+    void endWindow() { _queue.clearSpillHorizon(); }
+
+    /** Earliest pending (unadmitted) tick; UINT64_MAX when none. */
+    Tick pendingMin() const;
+
+    /** Earliest tick this shard cross-posted in the current round. */
+    Tick postedMin() const { return _postedMin; }
+
+    const ShardStats &stats() const { return _stats; }
+
+  private:
+    static void
+    spillThunk(void *ctx, Tick when, EventFn &&fn, Priority prio)
+    {
+        static_cast<Shard *>(ctx)->spill(when, std::move(fn), prio);
+    }
+
+    void spill(Tick when, EventFn &&fn, Priority prio);
+
+    EventQueue &_queue;
+    unsigned _id;
+    std::vector<CrossEvent> _pending;
+    std::vector<CrossEvent> _admitBatch; ///< scratch, reused per round
+    std::uint64_t _intra = 0;
+    std::int64_t _prioOverride = -1; ///< <0 = none; see nextStamp()
+    Tick _postedMin = UINT64_MAX;
+    ShardStats _stats;
+};
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_SHARD_HH

@@ -1,0 +1,308 @@
+#include "sim/sharded_engine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/check.hh"
+
+namespace dagger::sim {
+
+namespace {
+
+/** Worker count: DAGGER_SHARD_THREADS wins; otherwise one worker per
+ *  parallel shard, capped by the hardware, and none on a single-CPU
+ *  host (the coordinator multiplexes — identical results either way). */
+unsigned
+workerCount(unsigned shards)
+{
+    const unsigned parallel = shards - 1;
+    unsigned want = 0;
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw >= 2)
+        want = std::min(parallel, hw);
+    if (const char *env = std::getenv("DAGGER_SHARD_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env)
+            want = static_cast<unsigned>(
+                std::min<unsigned long>(v, parallel));
+    }
+    return want;
+}
+
+} // namespace
+
+ShardedEngine::ShardedEngine(EventQueue &q0, unsigned shards,
+                             Tick lookahead)
+    : _nshards(shards), _lookahead(lookahead), _q0(q0)
+{
+    dagger_assert(shards >= 2,
+                  "a sharded engine needs at least one parallel shard");
+    dagger_assert(lookahead >= 1, "lookahead must be positive");
+
+    _shard.reserve(shards);
+    _shard.push_back(std::make_unique<Shard>(_q0, 0));
+    _ownedQueues.reserve(shards - 1);
+    for (unsigned s = 1; s < shards; ++s) {
+        _ownedQueues.push_back(std::make_unique<EventQueue>());
+        _shard.push_back(
+            std::make_unique<Shard>(*_ownedQueues.back(), s));
+    }
+
+    _cross.resize(static_cast<std::size_t>(shards) * shards);
+    for (auto &box : _cross)
+        box = std::make_unique<SpscMailbox<CrossEvent>>();
+    _apply.resize(shards);
+    for (auto &box : _apply)
+        box = std::make_unique<SpscMailbox<CrossEvent>>();
+    _busy.resize(shards);
+
+    _nworkers = workerCount(shards);
+    if (_nworkers > 0) {
+        _startGate = std::make_unique<RoundBarrier>(_nworkers + 1);
+        _doneGate = std::make_unique<RoundBarrier>(_nworkers + 1);
+        _workers.reserve(_nworkers);
+        for (unsigned w = 0; w < _nworkers; ++w)
+            _workers.emplace_back([this, w] { workerLoop(w); });
+    }
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    if (!_workers.empty()) {
+        _stop = true;
+        _startGate->arriveAndWait();
+        for (auto &worker : _workers)
+            worker.join();
+    }
+}
+
+void
+ShardedEngine::workerLoop(unsigned w)
+{
+    const unsigned stride = _nworkers;
+    for (;;) {
+        _startGate->arriveAndWait();
+        if (_stop)
+            return;
+        // Fixed shard->worker assignment: the SPSC mailbox consumer
+        // for a given shard is the same thread on every round.
+        for (unsigned s = 1 + w; s < _nshards; s += stride)
+            runShardWindow(s);
+        _doneGate->arriveAndWait();
+    }
+}
+
+void
+ShardedEngine::runShardWindow(unsigned s)
+{
+    Shard &sh = *_shard[s];
+    const std::uint64_t t0 = _clock ? _clock() : 0;
+    for (unsigned from = 0; from < _nshards; ++from) {
+        if (from == s)
+            continue;
+        inbox(from, s).drain(
+            [&sh](CrossEvent &&ev) { sh.takeCross(std::move(ev)); });
+    }
+    sh.beginWindow(_roundEnd);
+    sh.admit(_roundEnd);
+    sh.queue().runUntil(_roundEnd - 1);
+    sh.endWindow();
+    if (_clock)
+        _busy[s].ns += _clock() - t0;
+}
+
+void
+ShardedEngine::serialPhase()
+{
+    Shard &sh0 = *_shard[0];
+    const std::uint64_t t0 = _clock ? _clock() : 0;
+
+    for (unsigned from = 1; from < _nshards; ++from) {
+        inbox(from, 0).drain(
+            [&sh0](CrossEvent &&ev) { sh0.takeCross(std::move(ev)); });
+    }
+    sh0.beginWindow(_roundEnd);
+    sh0.admit(_roundEnd);
+
+    _applyBatch.clear();
+    for (unsigned from = 1; from < _nshards; ++from) {
+        _apply[from]->drain([this](CrossEvent &&ev) {
+            _applyBatch.push_back(std::move(ev));
+        });
+    }
+    if (!_applyBatch.empty()) {
+        std::sort(_applyBatch.begin(), _applyBatch.end(),
+                  [](const CrossEvent &a, const CrossEvent &b) {
+                      return stampBefore(a.stamp, b.stamp);
+                  });
+        for (auto &apply : _applyBatch) {
+            // Replay the apply at its exact sequential position: run
+            // every shard-0 event strictly ordered before the caller's
+            // (tick, priority), then invoke with the clock sitting at
+            // the caller's tick and stamps inheriting its priority.
+            _q0.runWhileBefore(apply.stamp.birthTick,
+                               apply.stamp.birthPrio);
+            sh0.setPrioOverride(apply.stamp.birthPrio);
+            EventFn fn = std::move(apply.fn);
+            fn();
+            sh0.clearPrioOverride();
+            ++_appliesRun;
+        }
+        _applyBatch.clear();
+    }
+
+    _q0.runUntil(_roundEnd - 1);
+    sh0.endWindow();
+    if (_clock)
+        _busy[0].ns += _clock() - t0;
+}
+
+void
+ShardedEngine::round(Tick start, Tick end)
+{
+    _roundStart = start;
+    _roundEnd = end;
+    const std::uint64_t t0 = _clock ? _clock() : 0;
+    if (_workers.empty()) {
+        for (unsigned s = 1; s < _nshards; ++s)
+            runShardWindow(s);
+    } else {
+        _startGate->arriveAndWait();
+        _doneGate->arriveAndWait();
+    }
+    const std::uint64_t t1 = _clock ? _clock() : 0;
+    _parallelNs += t1 - t0;
+    serialPhase();
+    if (_clock)
+        _serialNs += _clock() - t1;
+    ++_rounds;
+}
+
+Tick
+ShardedEngine::nextTickLowerBound() const
+{
+    Tick lb = UINT64_MAX;
+    for (const auto &shard : _shard) {
+        lb = std::min(lb, shard->queue().nextEventLowerBound());
+        lb = std::min(lb, shard->pendingMin());
+        lb = std::min(lb, shard->postedMin());
+    }
+    return lb;
+}
+
+void
+ShardedEngine::runUntil(Tick target)
+{
+    dagger_assert(target >= _now, "ShardedEngine::runUntil into the past");
+    dagger_assert(target < UINT64_MAX, "runUntil target overflows");
+    Tick t = _now;
+    const Tick bound = target + 1; // exclusive
+    while (t < bound) {
+        Tick end = t + _lookahead;
+        if (end > bound || end < t)
+            end = bound;
+        round(t, end);
+        t = end;
+        if (t >= bound)
+            break;
+        // Idle skip-ahead: jump empty windows to the earliest pending
+        // tick anywhere (queues, unadmitted pending lists, undrained
+        // mailboxes — the latter bounded by each poster's postedMin).
+        const Tick lb = nextTickLowerBound();
+        if (lb > t) {
+            const Tick skip = std::min(lb, bound - 1);
+            if (skip > t) {
+                t = skip;
+                ++_skips;
+            }
+        }
+    }
+    _now = target;
+}
+
+void
+ShardedEngine::postCross(unsigned from, unsigned to, TickDelta delay,
+                         EventFn &&fn, Priority prio)
+{
+    dagger_assert(from < _nshards && to < _nshards, "bad shard id");
+    dagger_assert(from != to,
+                  "same-shard post: schedule on the queue instead");
+    Shard &src = *_shard[from];
+    const Tick when = src.queue().now() + delay;
+    dagger_assert(when >= _roundEnd,
+                  "cross-shard post lands inside the current window: "
+                  "delay is below the engine lookahead");
+    src.notePosted(when);
+    inbox(from, to).push(
+        CrossEvent{when, prio, src.nextStamp(), std::move(fn)});
+}
+
+void
+ShardedEngine::postApply(unsigned from, EventFn &&fn)
+{
+    dagger_assert(from >= 1 && from < _nshards,
+                  "applies come from parallel shards into shard 0");
+    Shard &src = *_shard[from];
+    src.noteApplySent();
+    _apply[from]->push(CrossEvent{src.queue().now(), Priority::Hardware,
+                                  src.nextStamp(), std::move(fn)});
+}
+
+std::uint64_t
+ShardedEngine::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : _shard)
+        total += shard->queue().executed();
+    return total;
+}
+
+EventQueue::EngineStats
+ShardedEngine::aggregateStats() const
+{
+    EventQueue::EngineStats agg;
+    for (const auto &shard : _shard) {
+        const auto &st = shard->queue().stats();
+        agg.poolHits += st.poolHits;
+        agg.poolMisses += st.poolMisses;
+        agg.poolBlocks += st.poolBlocks;
+        agg.wheelAdmits += st.wheelAdmits;
+        agg.frameAdmits += st.frameAdmits;
+        agg.heapAdmits += st.heapAdmits;
+        agg.maxPending = std::max(agg.maxPending, st.maxPending);
+    }
+    return agg;
+}
+
+std::uint64_t
+ShardedEngine::mailboxHighWater(unsigned s) const
+{
+    std::uint64_t high = 0;
+    for (unsigned from = 0; from < _nshards; ++from) {
+        if (from != s)
+            high = std::max(high, inbox(from, s).highWater());
+    }
+    if (s == 0) {
+        for (unsigned from = 1; from < _nshards; ++from)
+            high = std::max(high, _apply[from]->highWater());
+    }
+    return high;
+}
+
+std::uint64_t
+ShardedEngine::mailboxOverflowed(unsigned s) const
+{
+    std::uint64_t total = 0;
+    for (unsigned from = 0; from < _nshards; ++from) {
+        if (from != s)
+            total += inbox(from, s).overflowed();
+    }
+    if (s == 0) {
+        for (unsigned from = 1; from < _nshards; ++from)
+            total += _apply[from]->overflowed();
+    }
+    return total;
+}
+
+} // namespace dagger::sim

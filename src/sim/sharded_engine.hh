@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Sharded parallel discrete-event engine with conservative-lookahead
+ * barriers and a deterministic merge.
+ *
+ * The single-queue engine (event_queue.hh) runs the whole simulation
+ * on one thread.  This engine partitions it into domains — one
+ * EventQueue per shard — and advances them in lock-step *rounds*:
+ *
+ *   round k over window [T, end), end = min(T + lookahead, target+1)
+ *     1. parallel phase — every shard (1..S-1, worker threads; shard 0
+ *        is handled in step 3) drains its inboxes, admits pending
+ *        cross events with when < end in stamp order, and runs its own
+ *        queue through the window.  Admissions at/after end spill back
+ *        to the shard's pending list; cross-domain events go through
+ *        SPSC mailboxes and must land at least `lookahead` ticks out.
+ *     2. barrier.
+ *     3. serial phase — the coordinator runs shard 0 (the fabric/ToR
+ *        domain): inbox drain + admission, then the *applies* —
+ *        synchronous zero-latency calls into shard-0 state (e.g. a
+ *        host-side port issuing into the shared interconnect channel)
+ *        — interleaved at their exact sequential position via
+ *        EventQueue::runWhileBefore, then the rest of the window.
+ *     4. T = end; idle rounds skip ahead to the earliest pending tick.
+ *
+ * `lookahead` must not exceed the minimum cross-domain latency: every
+ * cross-post born inside a window then lands at or after the window
+ * end, so no shard ever receives an event in its past.  Hand-offs are
+ * stamped with their scheduling context and admitted in stamp order,
+ * which reproduces the single-queue engine's (tick, priority, seq)
+ * dispatch order exactly — same-seed runs are byte-identical at any
+ * shard or worker count (docs/PERF.md has the full argument and the
+ * acceptance protocol).
+ *
+ * Worker threads are a performance knob, not a semantic one: with zero
+ * workers the coordinator multiplexes every shard inline and the
+ * result is identical by construction.  DAGGER_SHARD_THREADS overrides
+ * the default (min(shards-1, hardware threads); 0 on single-CPU
+ * hosts).
+ */
+
+#ifndef DAGGER_SIM_SHARDED_ENGINE_HH
+#define DAGGER_SIM_SHARDED_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/barrier.hh"
+#include "sim/event_queue.hh"
+#include "sim/mailbox.hh"
+#include "sim/shard.hh"
+#include "sim/time.hh"
+
+namespace dagger::sim {
+
+class ShardedEngine
+{
+  public:
+    /** Wall-clock source for busy/stall accounting (ns, monotonic).
+     *  Injected by the bench harness; the simulator itself never reads
+     *  wall time. */
+    using ClockFn = std::uint64_t (*)();
+
+    /**
+     * @param q0 the serial-domain (fabric/ToR) queue, owned by the
+     *           caller so existing components keep their references.
+     * @param shards total shard count including shard 0; >= 2.
+     * @param lookahead conservative window width in ticks; must be a
+     *           lower bound on every cross-domain latency.
+     */
+    ShardedEngine(EventQueue &q0, unsigned shards, Tick lookahead);
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+    ~ShardedEngine();
+
+    unsigned shards() const { return _nshards; }
+    Tick lookahead() const { return _lookahead; }
+    /** Worker threads actually running (0 = coordinator multiplexes). */
+    unsigned workers() const { return _nworkers; }
+
+    EventQueue &queue(unsigned s) { return _shard[s]->queue(); }
+    Shard &shard(unsigned s) { return *_shard[s]; }
+
+    /** Committed global time (every queue has run through this). */
+    Tick now() const { return _now; }
+
+    /** Advance all shards to @p target (inclusive). */
+    void runUntil(Tick target);
+    void runFor(TickDelta window) { runUntil(_now + window); }
+
+    /**
+     * Hand @p fn to shard @p to, to run at now(@p from) + @p delay.
+     * Must only be called from shard @p from's execution context, and
+     * @p delay must respect the engine lookahead (asserted).
+     */
+    void postCross(unsigned from, unsigned to, TickDelta delay,
+                   EventFn &&fn, Priority prio = Priority::Default);
+
+    /**
+     * Queue @p fn for the serial phase of the current round: it runs
+     * on the coordinator with shard 0's queue advanced exactly to the
+     * caller's current tick — a synchronous, zero-lookahead call into
+     * serial-domain state.  @p from must be a parallel shard (>= 1).
+     */
+    void postApply(unsigned from, EventFn &&fn);
+
+    // ----------------------- observability ---------------------------
+
+    /** Total events executed across every shard queue. */
+    std::uint64_t executed() const;
+
+    /** Field-wise sum of every queue's EngineStats (max for maxPending). */
+    EventQueue::EngineStats aggregateStats() const;
+
+    const ShardStats &shardStats(unsigned s) const
+    {
+        return _shard[s]->stats();
+    }
+
+    /** High-water mark across shard @p s's inboxes (ring depth). */
+    std::uint64_t mailboxHighWater(unsigned s) const;
+    /** Events that overflowed the ring across shard @p s's inboxes. */
+    std::uint64_t mailboxOverflowed(unsigned s) const;
+
+    std::uint64_t rounds() const { return _rounds; }
+    std::uint64_t skips() const { return _skips; }
+    std::uint64_t appliesRun() const { return _appliesRun; }
+
+    /** Install a wall-clock source; enables the *_ns accessors. */
+    void setClock(ClockFn clock) { _clock = clock; }
+    /** Wall time shard @p s spent executing its windows. */
+    std::uint64_t busyNs(unsigned s) const { return _busy[s].ns; }
+    /** Wall time spent in parallel phases (incl. barrier waits). */
+    std::uint64_t parallelNs() const { return _parallelNs; }
+    /** Wall time spent in serial (shard 0 + apply) phases. */
+    std::uint64_t serialNs() const { return _serialNs; }
+
+  private:
+    struct alignas(64) BusySlot
+    {
+        std::uint64_t ns = 0;
+    };
+
+    SpscMailbox<CrossEvent> &inbox(unsigned from, unsigned to)
+    {
+        return *_cross[from * _nshards + to];
+    }
+    const SpscMailbox<CrossEvent> &inbox(unsigned from, unsigned to) const
+    {
+        return *_cross[from * _nshards + to];
+    }
+
+    void round(Tick start, Tick end);
+    void runShardWindow(unsigned s);
+    void serialPhase();
+    void workerLoop(unsigned w);
+    /** Conservative lower bound on the next event tick anywhere. */
+    Tick nextTickLowerBound() const;
+
+    unsigned _nshards;
+    Tick _lookahead;
+    unsigned _nworkers = 0; ///< set before any worker starts
+    Tick _now = 0;
+
+    EventQueue &_q0;
+    std::vector<std::unique_ptr<EventQueue>> _ownedQueues;
+    std::vector<std::unique_ptr<Shard>> _shard;
+    std::vector<std::unique_ptr<SpscMailbox<CrossEvent>>> _cross;
+    std::vector<std::unique_ptr<SpscMailbox<CrossEvent>>> _apply;
+    std::vector<CrossEvent> _applyBatch; ///< serial-phase scratch
+
+    // Round window, published to workers through the start barrier.
+    Tick _roundStart = 0;
+    Tick _roundEnd = 0;
+    bool _stop = false;
+
+    std::vector<std::thread> _workers;
+    std::unique_ptr<RoundBarrier> _startGate;
+    std::unique_ptr<RoundBarrier> _doneGate;
+
+    std::uint64_t _rounds = 0;
+    std::uint64_t _skips = 0;
+    std::uint64_t _appliesRun = 0;
+
+    ClockFn _clock = nullptr;
+    std::vector<BusySlot> _busy;
+    std::uint64_t _parallelNs = 0;
+    std::uint64_t _serialNs = 0;
+};
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_SHARDED_ENGINE_HH

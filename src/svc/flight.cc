@@ -278,16 +278,20 @@ FlightApp::issueRegistration()
     if (_sys.eq().now() >= _stopAt)
         return;
     const double mean_gap_us = 1000.0 / _krps;
+    // The generator lives in the passenger node's domain: it reads
+    // that queue's clock and self-schedules there.
+    sim::EventQueue &eq = _passengerNode->eq();
     auto fire = [this] {
-        if (_sys.eq().now() >= _stopAt)
+        sim::EventQueue &eq = _passengerNode->eq();
+        if (eq.now() >= _stopAt)
             return;
         const std::uint64_t pid = _nextPassenger++;
         ++_issued;
-        const sim::Tick t0 = _sys.eq().now();
+        const sim::Tick t0 = eq.now();
         TierReq r{pid};
         _passengerClient->callPod(
             kProcess, r, [this, t0](const proto::RpcMessage &) {
-                _e2e.record(_sys.eq().now() - t0);
+                _e2e.record(_passengerNode->eq().now() - t0);
                 ++_completed;
             });
         issueRegistration();
@@ -295,8 +299,8 @@ FlightApp::issueRegistration()
     // The open-loop load generator self-schedules once per request;
     // keep it on EventClosure's allocation-free inline path.
     static_assert(sim::EventClosure::fitsInline<decltype(fire)>());
-    _sys.eq().schedule(sim::usToTicks(_rng.exponential(mean_gap_us)),
-                       std::move(fire));
+    eq.schedule(sim::usToTicks(_rng.exponential(mean_gap_us)),
+                std::move(fire));
 }
 
 void
@@ -304,7 +308,7 @@ FlightApp::run(double krps, sim::Tick duration, sim::Tick drain)
 {
     dagger_assert(krps > 0, "offered load must be positive");
     _krps = krps;
-    _stopAt = _sys.eq().now() + duration;
+    _stopAt = _sys.now() + duration;
     issueRegistration();
 
     if (_cfg.staffReadRate > 0) {
@@ -316,13 +320,15 @@ FlightApp::run(double krps, sim::Tick duration, sim::Tick drain)
             operator()() const
             {
                 FlightApp *a = app;
-                if (a->_sys.eq().now() >= a->_stopAt)
+                // Staff reads issue from the staff node's domain.
+                sim::EventQueue &eq = a->_staffNode->eq();
+                if (eq.now() >= a->_stopAt)
                     return;
                 const double mean_gap_us = 1e6 / a->_cfg.staffReadRate;
-                a->_sys.eq().schedule(
+                eq.schedule(
                     sim::usToTicks(a->_rng.exponential(mean_gap_us)),
                     [a] {
-                        if (a->_sys.eq().now() >= a->_stopAt)
+                        if (a->_staffNode->eq().now() >= a->_stopAt)
                             return;
                         const std::uint64_t pid =
                             1 + a->_rng.range(
@@ -339,7 +345,7 @@ FlightApp::run(double krps, sim::Tick duration, sim::Tick drain)
         StaffDriver{this}();
     }
 
-    _sys.eq().runUntil(_stopAt + drain);
+    _sys.runUntilTick(_stopAt + drain);
 }
 
 } // namespace dagger::svc

@@ -1,0 +1,60 @@
+# ctest script for test_determinism_cross_shards: run a figure bench
+# at --shards 1 (the classic single-queue engine) and --shards 4 (the
+# sharded parallel engine, fabric on shard 0 + nodes spread over three
+# node domains) and byte-compare the JSON exports.  Only the fields
+# that legitimately differ between runs are normalized: the shard
+# count itself, host wall time, and — when the sharded run exports
+# engine timing — the busy/stall accounting keys.  Every point,
+# anchor, check, and config value must match byte for byte: the
+# conservative-lookahead merge is required to reproduce the sequential
+# event order exactly (docs/PERF.md, "Deterministic merge").
+#
+# Expects: -DBENCH=<bench binary> -DWORKDIR=<scratch dir>
+# Optional: -DTHREADS=<n> to force DAGGER_SHARD_THREADS for the
+# sharded run (exercises the real worker threads even on small CI
+# machines, where the engine would otherwise run its serial fallback).
+
+if(NOT BENCH OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH=... -DWORKDIR=... -P ...")
+endif()
+
+get_filename_component(stem ${BENCH} NAME_WE)
+
+foreach(shards IN ITEMS 1 4)
+    set(ENV{DAGGER_SHARD_THREADS} "")
+    if(THREADS AND shards GREATER 1)
+        set(ENV{DAGGER_SHARD_THREADS} ${THREADS})
+    endif()
+    execute_process(
+        COMMAND ${BENCH} --shards ${shards} --json
+                ${WORKDIR}/${stem}_shards${shards}.json
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} --shards ${shards} exited with ${rc}")
+    endif()
+endforeach()
+
+file(READ ${WORKDIR}/${stem}_shards1.json a)
+file(READ ${WORKDIR}/${stem}_shards4.json b)
+
+foreach(var IN ITEMS a b)
+    string(REGEX REPLACE "\"shards\": [0-9]+," "\"shards\": N,"
+           ${var} "${${var}}")
+    string(REGEX REPLACE "\"wall_clock_sec\": [0-9.eE+-]+,"
+           "\"wall_clock_sec\": W," ${var} "${${var}}")
+    # Engine wall-clock accounting (busy_ms_shard<i>, parallel_ms,
+    # serial_ms, barrier_stall_frac) only exists on sharded runs and
+    # is host-time, not simulated time; strip it before comparing.
+    string(REGEX REPLACE
+           "\"(busy_ms_shard[0-9]+|parallel_ms|serial_ms|barrier_stall_frac)\": [0-9.eE+-]+,?[ \n]*"
+           "" ${var} "${${var}}")
+endforeach()
+
+if(NOT a STREQUAL b)
+    message(FATAL_ERROR "JSON differs between --shards 1 and --shards 4:\n"
+        "--- shards 1 ---\n${a}\n--- shards 4 ---\n${b}")
+endif()
+
+message(STATUS "shards 1 and shards 4 JSON byte-identical after "
+    "shards/wall-clock normalization")

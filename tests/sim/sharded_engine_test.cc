@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Unit tests for the sharded parallel engine: equivalence with the
+ * single-queue engine, thread-count invariance, serial-phase apply
+ * positioning, spill/readmission, skip-ahead, mailbox FIFO under
+ * overflow, and the new EventQueue hooks it builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/mailbox.hh"
+#include "sim/sharded_engine.hh"
+
+namespace {
+
+using dagger::sim::CrossEvent;
+using dagger::sim::EventQueue;
+using dagger::sim::EventStamp;
+using dagger::sim::Priority;
+using dagger::sim::ShardedEngine;
+using dagger::sim::SpscMailbox;
+using dagger::sim::stampBefore;
+using dagger::sim::Tick;
+
+// ------------------------------------------------------------------
+// EventQueue hooks the engine relies on.
+// ------------------------------------------------------------------
+
+TEST(EventQueueHooks, NextEventLowerBoundEmptyIsMax)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventLowerBound(), UINT64_MAX);
+}
+
+TEST(EventQueueHooks, NextEventLowerBoundNeverOvershoots)
+{
+    EventQueue eq;
+    // One near event (wheel), one mid event (parked frame), one far
+    // event (heap) — the bound must stay at or below each in turn.
+    eq.scheduleAt(5'000, [] {});
+    eq.scheduleAt(200'000, [] {});
+    eq.scheduleAt(50'000'000, [] {});
+    Tick lb = eq.nextEventLowerBound();
+    EXPECT_LE(lb, 5'000u);
+    eq.runUntil(5'000);
+    lb = eq.nextEventLowerBound();
+    EXPECT_GT(lb, 5'000u);
+    EXPECT_LE(lb, 200'000u);
+    eq.runUntil(200'000);
+    lb = eq.nextEventLowerBound();
+    EXPECT_GT(lb, 200'000u);
+    EXPECT_LE(lb, 50'000'000u);
+    eq.runUntil(50'000'000);
+    EXPECT_EQ(eq.nextEventLowerBound(), UINT64_MAX);
+}
+
+TEST(EventQueueHooks, LowerBoundIsSafeToRunTo)
+{
+    // Property: running until lb - 1 never executes anything.
+    EventQueue eq;
+    const Tick whens[] = {4'097, 12'000, 12'001, 700'000, 9'000'000};
+    for (Tick when : whens)
+        eq.scheduleAt(when, [] {});
+    while (!eq.empty()) {
+        const Tick lb = eq.nextEventLowerBound();
+        ASSERT_NE(lb, UINT64_MAX);
+        const std::uint64_t before = eq.executed();
+        if (lb > eq.now() + 1) {
+            eq.runUntil(lb - 1);
+            EXPECT_EQ(eq.executed(), before);
+        }
+        eq.runOne();
+    }
+}
+
+TEST(EventQueueHooks, RunWhileBeforeSplitsATickByPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(100, [&] { order.push_back(2); }, Priority::Software);
+    eq.scheduleAt(100, [&] { order.push_back(0); }, Priority::Hardware);
+    eq.scheduleAt(100, [&] { order.push_back(1); }, Priority::Default);
+    eq.scheduleAt(200, [&] { order.push_back(3); }, Priority::Hardware);
+
+    eq.runWhileBefore(100, static_cast<std::uint32_t>(Priority::Default));
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    EXPECT_EQ(eq.now(), 100u);
+
+    eq.runWhileBefore(100, static_cast<std::uint32_t>(Priority::Software));
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+
+    eq.runUntil(200);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueHooks, CurrentPriorityTracksTheRunningHandler)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.currentPriority(), 0u);
+    bool checked = false;
+    eq.schedule(
+        10,
+        [&] {
+            checked = true;
+            EXPECT_EQ(eq.currentPriority(),
+                      static_cast<std::uint32_t>(Priority::Software));
+        },
+        Priority::Software);
+    eq.runAll();
+    EXPECT_TRUE(checked);
+    EXPECT_EQ(eq.currentPriority(), 0u);
+}
+
+TEST(EventQueueHooks, SpillHorizonDivertsLateAdmissions)
+{
+    EventQueue eq;
+    struct Spilled
+    {
+        std::vector<std::pair<Tick, Priority>> seen;
+    } spilled;
+    eq.setSpillHorizon(
+        1'000,
+        [](void *ctx, Tick when, dagger::sim::EventFn &&, Priority prio) {
+            static_cast<Spilled *>(ctx)->seen.emplace_back(when, prio);
+        },
+        &spilled);
+    int ran = 0;
+    eq.scheduleAt(999, [&] { ++ran; });
+    eq.scheduleAt(1'000, [] {}, Priority::Hardware);
+    eq.scheduleAt(5'000, [] {});
+    eq.runUntil(10'000);
+    EXPECT_EQ(ran, 1);
+    ASSERT_EQ(spilled.seen.size(), 2u);
+    EXPECT_EQ(spilled.seen[0].first, 1'000u);
+    EXPECT_EQ(spilled.seen[0].second, Priority::Hardware);
+    EXPECT_EQ(spilled.seen[1].first, 5'000u);
+
+    eq.clearSpillHorizon();
+    eq.scheduleAt(20'000, [&] { ++ran; });
+    eq.runUntil(20'000);
+    EXPECT_EQ(ran, 2);
+}
+
+// ------------------------------------------------------------------
+// Mailbox: FIFO through ring wrap-around and overflow.
+// ------------------------------------------------------------------
+
+TEST(SpscMailbox, KeepsFifoAcrossRingWraps)
+{
+    SpscMailbox<int> box;
+    int next = 0, expect = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 100; ++i)
+            box.push(int{next++});
+        box.drain([&](int &&v) { EXPECT_EQ(v, expect++); });
+    }
+    EXPECT_EQ(expect, next);
+    EXPECT_EQ(box.overflowed(), 0u);
+    EXPECT_LE(box.highWater(), 100u);
+}
+
+TEST(SpscMailbox, OverflowPreservesFifoAndCounts)
+{
+    SpscMailbox<int> box;
+    const int n = 3'000; // well past the 1024-slot ring
+    for (int i = 0; i < n; ++i)
+        box.push(int{i});
+    EXPECT_EQ(box.overflowed(),
+              static_cast<std::uint64_t>(n) - SpscMailbox<int>::kRingCapacity);
+    int expect = 0;
+    box.drain([&](int &&v) { EXPECT_EQ(v, expect++); });
+    EXPECT_EQ(expect, n);
+
+    // After the consumer catches up the producer returns to the ring.
+    box.push(int{n});
+    box.push(n + 1);
+    const auto overflowedBefore = box.overflowed();
+    expect = n;
+    box.drain([&](int &&v) { EXPECT_EQ(v, expect++); });
+    EXPECT_EQ(expect, n + 2);
+    EXPECT_EQ(box.overflowed(), overflowedBefore);
+}
+
+TEST(EventStampOrder, LexicographicAndStrict)
+{
+    const EventStamp a{100, 0, 1, 5};
+    const EventStamp b{100, 0, 2, 0};
+    const EventStamp c{100, 100, 0, 0};
+    const EventStamp d{101, 0, 0, 0};
+    EXPECT_TRUE(stampBefore(a, b));
+    EXPECT_TRUE(stampBefore(b, c));
+    EXPECT_TRUE(stampBefore(c, d));
+    EXPECT_FALSE(stampBefore(b, a));
+    EXPECT_FALSE(stampBefore(a, a));
+}
+
+// ------------------------------------------------------------------
+// Sharded engine: a ping-pong workload that exists in two builds —
+// sharded (cross-posts via the engine) and sequential (one queue) —
+// and must produce identical per-domain traces.
+// ------------------------------------------------------------------
+
+// (tick, kind 0=bounce 1=echo, hops-left) recorded per domain.
+using Rec = std::tuple<Tick, unsigned, unsigned>;
+using DomainTrace = std::vector<std::vector<Rec>>;
+
+constexpr Tick kLookahead = 1'000;
+
+void
+bounceSharded(ShardedEngine *eng, DomainTrace *trace, unsigned here,
+              unsigned peer, Tick crossDelay, Tick echoDelay,
+              unsigned hopsLeft)
+{
+    EventQueue &q = eng->queue(here);
+    (*trace)[here].emplace_back(q.now(), 0u, hopsLeft);
+    q.schedule(echoDelay, [trace, &q, here, hopsLeft] {
+        (*trace)[here].emplace_back(q.now(), 1u, hopsLeft);
+    });
+    if (hopsLeft == 0)
+        return;
+    eng->postCross(here, peer, crossDelay,
+                   [eng, trace, here, peer, crossDelay, echoDelay,
+                    hopsLeft] {
+                       bounceSharded(eng, trace, peer, here, crossDelay,
+                                     echoDelay, hopsLeft - 1);
+                   });
+}
+
+void
+bounceRef(EventQueue *q, DomainTrace *trace, unsigned here, unsigned peer,
+          Tick crossDelay, Tick echoDelay, unsigned hopsLeft)
+{
+    (*trace)[here].emplace_back(q->now(), 0u, hopsLeft);
+    q->schedule(echoDelay, [q, trace, here, hopsLeft] {
+        (*trace)[here].emplace_back(q->now(), 1u, hopsLeft);
+    });
+    if (hopsLeft == 0)
+        return;
+    q->schedule(crossDelay,
+                [q, trace, here, peer, crossDelay, echoDelay, hopsLeft] {
+                    bounceRef(q, trace, peer, here, crossDelay, echoDelay,
+                              hopsLeft - 1);
+                });
+}
+
+struct Pair
+{
+    unsigned a, b;
+    Tick start, crossDelay, echoDelay;
+    unsigned hops;
+};
+
+// Delays are coprime-ish so the two domains never collide on a tick;
+// cross delays all respect the lookahead.
+const Pair kPairs[] = {
+    {1, 2, 501, 1'021, 17, 400},
+    {2, 3, 577, 1'033, 29, 300},
+    {3, 1, 613, 1'061, 41, 350},
+};
+constexpr unsigned kShards = 4;
+constexpr Tick kHorizon = 800'000;
+
+DomainTrace
+runSharded()
+{
+    DomainTrace trace(kShards);
+    EventQueue q0;
+    ShardedEngine eng(q0, kShards, kLookahead);
+    for (const Pair &p : kPairs) {
+        eng.queue(p.a).scheduleAt(
+            p.start, [engp = &eng, tp = &trace, p] {
+                bounceSharded(engp, tp, p.a, p.b, p.crossDelay,
+                              p.echoDelay, p.hops);
+            });
+    }
+    eng.runUntil(kHorizon);
+    EXPECT_EQ(eng.now(), kHorizon);
+    // Deterministic cross-traffic accounting: everything sent arrived.
+    std::uint64_t sent = 0, recvd = 0;
+    for (unsigned s = 0; s < kShards; ++s) {
+        sent += eng.shardStats(s).crossSent;
+        recvd += eng.shardStats(s).crossRecvd;
+    }
+    EXPECT_EQ(sent, recvd);
+    EXPECT_GT(sent, 0u);
+    return trace;
+}
+
+TEST(ShardedEngine, MatchesSingleQueueReference)
+{
+    DomainTrace ref(kShards);
+    EventQueue q;
+    for (const Pair &p : kPairs) {
+        q.scheduleAt(p.start, [qp = &q, tp = &ref, p] {
+            bounceRef(qp, tp, p.a, p.b, p.crossDelay, p.echoDelay,
+                      p.hops);
+        });
+    }
+    q.runUntil(kHorizon);
+
+    const DomainTrace sharded = runSharded();
+    ASSERT_EQ(sharded.size(), ref.size());
+    for (unsigned s = 0; s < kShards; ++s)
+        EXPECT_EQ(sharded[s], ref[s]) << "domain " << s << " diverged";
+}
+
+TEST(ShardedEngine, WorkerCountDoesNotChangeResults)
+{
+    setenv("DAGGER_SHARD_THREADS", "0", 1);
+    const DomainTrace serial = runSharded();
+    setenv("DAGGER_SHARD_THREADS", "3", 1);
+    const DomainTrace threaded = runSharded();
+    unsetenv("DAGGER_SHARD_THREADS");
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(ShardedEngine, AppliesRunAtTheirSequentialPosition)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 2, kLookahead);
+    std::vector<int> order;
+    q0.scheduleAt(5'000, [&] { order.push_back(0); }, Priority::Hardware);
+    q0.scheduleAt(5'000, [&] { order.push_back(2); }, Priority::Software);
+    eng.queue(1).scheduleAt(5'000, [&eng, &order, &q0] {
+        eng.postApply(1, [&order, &q0] {
+            EXPECT_EQ(q0.now(), 5'000u);
+            order.push_back(1);
+        });
+    });
+    eng.runUntil(10'000);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eng.appliesRun(), 1u);
+}
+
+TEST(ShardedEngine, ApplyContextStampsInheritTheCallersPriority)
+{
+    // An apply that schedules serial-domain work past the window end
+    // must spill with the *caller's* priority — not the idle context's
+    // Hardware(0) — so it sorts after cross events born from
+    // lower-priority handlers at the same tick, exactly as the
+    // sequential engine would have ordered the two schedules.
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    std::vector<int> order;
+    // Shard 1, Software(200) context: apply schedules shard-0 work
+    // landing at 1'500 (past the 1'000 window end, so it spills).
+    eng.queue(1).scheduleAt(
+        500,
+        [&eng, &order, &q0] {
+            eng.postApply(1, [&order, &q0] {
+                q0.schedule(1'000, [&order] { order.push_back(1); });
+            });
+        },
+        Priority::Software);
+    // Shard 2, Default(100) context: cross event to shard 0, same
+    // landing tick.
+    eng.queue(2).scheduleAt(
+        500,
+        [&eng, &order] {
+            eng.postCross(2, 0, 1'000,
+                          [&order] { order.push_back(0); });
+        },
+        Priority::Default);
+    eng.runUntil(5'000);
+    // Sequentially the Default(100) handler's schedule precedes the
+    // Software(200) one's; without the override the apply's child
+    // would be stamped priority 0 and run first.
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(ShardedEngine, SpillsDeferLocalEventsPastTheWindow)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 2, kLookahead);
+    std::vector<Tick> ran;
+    eng.queue(1).scheduleAt(999, [&eng, &ran] {
+        // 999 + 500 = 1'499 >= the window end (1'000): must spill and
+        // still run, exactly once, at its tick.
+        eng.queue(1).schedule(500, [&eng, &ran] {
+            ran.push_back(eng.queue(1).now());
+        });
+    });
+    eng.runUntil(3'000);
+    EXPECT_EQ(ran, (std::vector<Tick>{1'499}));
+    EXPECT_EQ(eng.shardStats(1).spills, 1u);
+}
+
+TEST(ShardedEngine, SkipAheadJumpsIdleGaps)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    int ran = 0;
+    eng.queue(1).scheduleAt(10, [&eng, &ran] {
+        ++ran;
+        // Far future, same shard: spills, then the engine should jump.
+        eng.queue(1).scheduleAt(60'000'000, [&ran] { ++ran; });
+    });
+    eng.runUntil(100'000'000);
+    EXPECT_EQ(ran, 2);
+    EXPECT_GE(eng.skips(), 2u);
+    // Without skip-ahead this would be ~100k rounds.
+    EXPECT_LE(eng.rounds(), 16u);
+}
+
+TEST(ShardedEngine, RunUntilAdvancesEveryQueueWhenIdle)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    eng.runUntil(50'000);
+    EXPECT_EQ(eng.now(), 50'000u);
+    for (unsigned s = 0; s < 3; ++s)
+        EXPECT_EQ(eng.queue(s).now(), 50'000u);
+    EXPECT_EQ(eng.executed(), 0u);
+}
+
+TEST(ShardedEngine, AggregatesExecutionAcrossShards)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    for (unsigned s = 0; s < 3; ++s)
+        eng.queue(s).scheduleAt(100 + s, [] {});
+    eng.runUntil(1'000);
+    EXPECT_EQ(eng.executed(), 3u);
+    const auto agg = eng.aggregateStats();
+    EXPECT_EQ(agg.poolHits + agg.poolMisses, 3u);
+}
+
+TEST(ShardedEngineDeath, CrossPostBelowLookaheadPanics)
+{
+    setenv("DAGGER_SHARD_THREADS", "0", 1);
+    EventQueue q0;
+    ShardedEngine eng(q0, 2, kLookahead);
+    eng.queue(1).scheduleAt(100, [&eng] {
+        eng.postCross(1, 0, 10, [] {});
+    });
+    EXPECT_DEATH(eng.runUntil(2'000), "lookahead");
+    unsetenv("DAGGER_SHARD_THREADS");
+}
+
+TEST(ShardedEngineDeath, SameShardPostPanics)
+{
+    setenv("DAGGER_SHARD_THREADS", "0", 1);
+    EventQueue q0;
+    ShardedEngine eng(q0, 2, kLookahead);
+    eng.queue(1).scheduleAt(100, [&eng] {
+        eng.postCross(1, 1, 5'000, [] {});
+    });
+    EXPECT_DEATH(eng.runUntil(2'000), "same-shard");
+    unsetenv("DAGGER_SHARD_THREADS");
+}
+
+} // namespace

@@ -102,13 +102,14 @@ class LintTest : public ::testing::Test
     fs::path _src;
 };
 
-TEST_F(LintTest, ListRulesNamesAllFive)
+TEST_F(LintTest, ListRulesNamesAllSix)
 {
     const RunResult r = run(lint("--list-rules"));
     EXPECT_EQ(r.exit_code, 0);
     for (const char *rule :
          {"no-wallclock", "seeded-rng-only", "no-unordered-iteration-order",
-          "no-raw-new-in-sim", "event-handler-noexcept"})
+          "no-raw-new-in-sim", "event-handler-noexcept",
+          "no-cross-shard-schedule"})
         EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
 }
 
@@ -122,8 +123,10 @@ TEST_F(LintTest, FixtureTreeProducesExactRuleHits)
     EXPECT_EQ(ruleHits(r.out, "no-unordered-iteration-order"), 1u);
     EXPECT_EQ(ruleHits(r.out, "no-raw-new-in-sim"), 1u);
     EXPECT_EQ(ruleHits(r.out, "event-handler-noexcept"), 1u);
-    // 3 from suppressed.cc + 1 from bench_wallclock.cc.
-    EXPECT_NE(r.out.find("\"suppressed\": 4"), std::string::npos) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "no-cross-shard-schedule"), 3u);
+    // 3 from suppressed.cc + 1 from bench_wallclock.cc + 1 from
+    // cross_shard.cc.
+    EXPECT_NE(r.out.find("\"suppressed\": 5"), std::string::npos) << r.out;
     EXPECT_NE(r.out.find("\"ok\": false"), std::string::npos);
 }
 
@@ -161,6 +164,40 @@ TEST_F(LintTest, BenchWallclockOnlyLegalThroughHarness)
     EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 1u) << r.out;
     // The harness-style allow on the second read still suppresses.
     EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, CrossShardRuleSparesPerDomainAccessor)
+{
+    const RunResult r =
+        run(lint("--json --rule no-cross-shard-schedule " +
+                 (_src / "cross_shard.cc").string()));
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(ruleHits(r.out, "no-cross-shard-schedule"), 3u) << r.out;
+    // The three accessor chains hit; the sanctioned
+    // _node.eq().schedule(...) line (18) stays clean.
+    EXPECT_NE(r.out.find("\"line\": 10"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 11"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 12"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("\"line\": 18"), std::string::npos) << r.out;
+    // The audited chain suppresses like any other rule.
+    EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, CrossShardRuleExemptsTests)
+{
+    // Test drivers pump single-queue rigs from outside the simulation
+    // (rig.sys.eq().scheduleAt and friends); the rule must not fire on
+    // anything under tests/ — including tests/bench/.
+    const fs::path tests = _root / "tests" / "bench";
+    fs::create_directories(tests);
+    fs::copy_file(fs::path(DAGGER_LINT_FIXTURES) / "cross_shard.cc.in",
+                  tests / "driver_test.cc",
+                  fs::copy_options::overwrite_existing);
+    const RunResult r =
+        run(lint("--json --rule no-cross-shard-schedule " +
+                 (_root / "tests").string()));
+    EXPECT_EQ(r.exit_code, 0) << r.out;
+    EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
 }
 
 TEST_F(LintTest, CleanFileExitsZero)

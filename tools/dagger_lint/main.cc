@@ -22,6 +22,13 @@
  *                                 events (an exception unwinding
  *                                 through EventQueue aborts a run with
  *                                 no simulation context)
+ *   no-cross-shard-schedule       scheduling through a system-wide
+ *                                 queue accessor chain (sys.eq(),
+ *                                 system().eq(), eventQueue()) in
+ *                                 src/ or bench/; on a sharded engine
+ *                                 the event lands in a foreign domain
+ *                                 — use the owning DaggerNode::eq()
+ *                                 or a local EventQueue reference
  *
  * Findings are suppressed per line with `// dagger-lint: allow(<rule>)`
  * (comma-separated rules, or `all`).  A comment-only allow line covers
@@ -57,6 +64,7 @@ const std::vector<std::string> kAllRules = {
     "no-unordered-iteration-order",
     "no-raw-new-in-sim",
     "event-handler-noexcept",
+    "no-cross-shard-schedule",
 };
 
 struct Finding
@@ -504,6 +512,43 @@ ruleEventHandlerNoexcept(const FileText &ft, const FileText *header,
     }
 }
 
+void
+ruleNoCrossShardSchedule(const FileText &ft, std::vector<Finding> &out)
+{
+    // Polices the simulator proper and the benches (both run under the
+    // sharded engine).  Tests and examples drive single-queue rigs
+    // from the outside and are exempt — including tests/bench/.
+    if (ft.path.find("tests/") != std::string::npos)
+        return;
+    if (ft.path.find("src/") == std::string::npos &&
+        ft.path.find("bench/") == std::string::npos)
+        return;
+    // Raw substring match, not findToken: the accessor *chain* is the
+    // smell.  `_node.eq().schedule(...)` is the sanctioned per-domain
+    // form and is deliberately not matched.  The trailing "schedule"
+    // also catches scheduleAt.
+    static const char *pats[] = {
+        "sys.eq().schedule",      // _sys. / sys. / rig.sys. prefixes
+        "system().eq().schedule", // node->system() chains
+        "eventQueue().schedule",  // another component's queue accessor
+    };
+    for (std::size_t i = 0; i < ft.code.size(); ++i) {
+        const std::string &line = ft.code[i];
+        for (const char *p : pats) {
+            if (line.find(p) == std::string::npos)
+                continue;
+            out.push_back(
+                {ft.path, i + 1, "no-cross-shard-schedule",
+                 std::string("scheduling through '") + p +
+                     "(...)': on a sharded engine this queue can belong "
+                     "to a foreign domain; schedule on the owning "
+                     "DaggerNode::eq() (or a local EventQueue ref) "
+                     "instead"});
+            break;
+        }
+    }
+}
+
 // ----------------------------- driver -----------------------------------
 
 std::string
@@ -649,6 +694,8 @@ main(int argc, char **argv)
             ruleNoRawNew(ft, fileFindings);
         if (active.count("event-handler-noexcept"))
             ruleEventHandlerNoexcept(ft, headerPtr, fileFindings);
+        if (active.count("no-cross-shard-schedule"))
+            ruleNoCrossShardSchedule(ft, fileFindings);
 
         for (Finding &f : fileFindings) {
             const auto it = ft.allows.find(f.line);
