@@ -88,7 +88,7 @@ class SnOverDagger
         _tiers[t]->serverThread().registerHandler(
             kProcess, [t](const proto::RpcMessage &) {
                 HandlerOutcome out;
-                out.response.resize(32);
+                out.response = proto::PayloadBuf(32);
                 out.cost = kSpecs[t].compute;
                 return out;
             });

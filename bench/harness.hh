@@ -61,6 +61,8 @@ class EchoRig
         sim::Tick serverCost = sim::nsToTicks(10);
         bool bestEffort = false;     ///< allow drops (peak-rate mode)
         unsigned shards = 1;         ///< event-engine domains (1 = classic)
+        std::size_t txRingEntries = 512; ///< frames per TX ring
+        std::size_t rxRingEntries = 512; ///< frames per RX ring
     };
 
     explicit EchoRig(const Options &opt)
@@ -69,8 +71,8 @@ class EchoRig
         nic::NicConfig cfg;
         cfg.numFlows = opt.threads;
         cfg.iface = opt.iface;
-        cfg.txRingEntries = 512;
-        cfg.rxRingEntries = 512;
+        cfg.txRingEntries = opt.txRingEntries;
+        cfg.rxRingEntries = opt.rxRingEntries;
         nic::SoftConfig soft;
         soft.batchSize = opt.batch;
         soft.autoBatch = opt.autoBatch;

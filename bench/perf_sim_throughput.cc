@@ -46,6 +46,9 @@ constexpr std::uint64_t kStormSeed = 0x570a11;
 constexpr unsigned kStormPopulation = 32768;
 constexpr std::uint64_t kStormTarget = 3'000'000;
 
+/** Payload-sweep sizes: one frame up to a 342-frame (16 KB) message. */
+constexpr std::size_t kPayloadSweep[] = {64, 256, 1024, 4096, 16384};
+
 /** One scenario's measurement. */
 struct PerfResult
 {
@@ -55,6 +58,7 @@ struct PerfResult
     std::uint64_t finalTick = 0;
     double wallSec = 0;
     double mrps = 0;
+    std::size_t payloadBytes = 0; ///< payload-sweep rows only
     EventQueue::EngineStats stats;
     // Sharded-storm extras (zero elsewhere).
     unsigned shards = 0;
@@ -266,6 +270,42 @@ runEcho(unsigned threads)
     return res;
 }
 
+/**
+ * Payload-size sweep: the echo rig at one payload size, measuring the
+ * host cost of moving RPC bytes through rings, NIC, and switch.  Large
+ * payloads span many 64 B frames (16 KB = 342), so this is the row
+ * family that exposes per-frame byte copies on the data path; rings
+ * are widened so a 342-frame message never outsizes its TX ring.
+ */
+PerfResult
+runPayloadEcho(std::size_t payload, unsigned shards)
+{
+    PerfResult res;
+    res.scenario = "payload";
+    res.threads = 2;
+    res.payloadBytes = payload;
+    res.shards = shards;
+    EchoRig::Options opt;
+    opt.threads = 2;
+    opt.payload = payload;
+    opt.shards = shards;
+    opt.txRingEntries = 2048;
+    opt.rxRingEntries = 2048;
+    EchoRig rig(opt);
+    dagger::bench::attachEngineClock(rig.system());
+    WallTimer timer;
+    const dagger::bench::Point p = rig.saturate(
+        8, dagger::sim::msToTicks(1), dagger::sim::msToTicks(5));
+    res.wallSec = timer.seconds();
+    res.events = rig.system().eventsExecuted();
+    res.finalTick = rig.system().now();
+    res.stats = rig.system().engine()
+        ? rig.system().engine()->aggregateStats()
+        : rig.system().eq().stats();
+    res.mrps = p.mrps;
+    return res;
+}
+
 double
 eventsPerSec(const PerfResult &r)
 {
@@ -288,6 +328,7 @@ run(BenchContext &ctx)
     ctx.config("storm_population", static_cast<double>(kStormPopulation));
     ctx.config("storm_target_events", static_cast<double>(kStormTarget));
     ctx.config("echo_fleets", "1,2,4");
+    ctx.config("payload_sweep", "64,256,1024,4096,16384");
     ctx.config("closure_inline_bytes",
                static_cast<double>(dagger::sim::EventClosure::kInlineBytes));
     ctx.config("wheel_buckets",
@@ -304,6 +345,11 @@ run(BenchContext &ctx)
     scenarios.emplace_back([shards] { return runShardedStorm(shards); });
     for (unsigned t : {1u, 2u, 4u})
         scenarios.emplace_back([t] { return runEcho(t); });
+    // Payload rows ride at the end: the positional checks below index
+    // into the fixed prefix of this list.
+    for (std::size_t bytes : kPayloadSweep)
+        scenarios.emplace_back(
+            [bytes, shards] { return runPayloadEcho(bytes, shards); });
     const std::vector<PerfResult> results =
         ctx.runner().run(std::move(scenarios));
 
@@ -335,6 +381,12 @@ run(BenchContext &ctx)
                               static_cast<double>(r.stats.maxPending));
         if (r.scenario == "echo")
             pt.value("mrps", r.mrps);
+        if (r.scenario == "payload") {
+            pt.value("payload_bytes",
+                     static_cast<double>(r.payloadBytes));
+            pt.value("shards", r.shards);
+            pt.value("mrps", r.mrps);
+        }
         if (r.scenario == "storm-sharded") {
             pt.value("shards", r.shards);
             pt.value("engine_workers", r.workers);
@@ -374,6 +426,12 @@ run(BenchContext &ctx)
     if (shards > 1)
         ctx.check("sharded storm runs off the per-shard event pools",
                   poolHitRate(shst.stats) >= 0.98);
+    bool sweepDelivers = true;
+    for (const PerfResult &r : results)
+        if (r.scenario == "payload")
+            sweepDelivers = sweepDelivers && r.mrps > 0;
+    ctx.check("every payload-sweep point sustains a positive RPC rate",
+              sweepDelivers);
 }
 
 } // namespace

@@ -38,8 +38,7 @@ KvsServer::attachThread(rpc::RpcServerThread &thread, unsigned partition)
                 std::memcpy(resp.value, value->data(), resp.valLen);
             }
             out.cost = cost;
-            out.response.resize(sizeof(resp));
-            std::memcpy(out.response.data(), &resp, sizeof(resp));
+            out.response = proto::PayloadBuf::ofPod(resp);
             return out;
         });
 
@@ -60,8 +59,7 @@ KvsServer::attachThread(rpc::RpcServerThread &thread, unsigned partition)
             KvSetResponse resp{};
             resp.stored = stored ? 1 : 0;
             out.cost = cost;
-            out.response.resize(sizeof(resp));
-            std::memcpy(out.response.data(), &resp, sizeof(resp));
+            out.response = proto::PayloadBuf::ofPod(resp);
             return out;
         });
 }

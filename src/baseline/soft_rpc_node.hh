@@ -24,13 +24,20 @@
 #include <vector>
 
 #include "baseline/soft_stack.hh"
+#include "proto/payload.hh"
 #include "rpc/cpu.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace dagger::baseline {
 
-using Payload = std::vector<std::uint8_t>;
+/**
+ * Baseline request/response payload.  Shares the refcounted flat
+ * buffer used by the Dagger path, so baseline-vs-Dagger comparisons
+ * (Table 3) move handles over the same allocation model and the copy
+ * counters in proto::payloadStats() cover both stacks.
+ */
+using Payload = proto::PayloadBuf;
 
 /** Per-request component times recorded at the serving node. */
 struct ServeBreakdown

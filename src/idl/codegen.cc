@@ -137,11 +137,8 @@ emitService(std::ostringstream &os, const ServiceDef &s)
             os << "                out.respond = false;\n";
         } else {
             os << "                out.respond = result.respond;\n";
-            os << "                out.response.resize(sizeof("
-               << r.responseType << "));\n";
-            os << "                std::memcpy(out.response.data(), "
-                  "&result.response,\n                            sizeof("
-               << r.responseType << "));\n";
+            os << "                out.response = "
+                  "dagger::proto::PayloadBuf::ofPod(result.response);\n";
         }
         os << "                return out;\n";
         os << "            });\n";

@@ -40,8 +40,11 @@ FaultInjector::corruptPayload(Packet &pkt)
         pkt.frames[_rng.range(pkt.frames.size())].header.checksum ^= 0xff;
         return;
     }
+    // Copy-on-write: only this frame's view is repointed at the
+    // damaged bytes, so the sender's retransmission copy and any
+    // in-flight duplicates keep referencing the intact buffer.
     proto::Frame &f = pkt.frames[live[_rng.range(live.size())]];
-    f.payload[_rng.range(f.liveBytes())] ^= 0xff;
+    f.corruptPayloadByte(_rng.range(f.liveBytes()));
 }
 
 void

@@ -35,7 +35,7 @@ AckProtocol::onEgress(net::Packet &pkt)
     if (_mtuFrames > 0 && pkt.frames.size() > _mtuFrames) {
         // Fragment into independently sequenced wire packets so a
         // single lost fragment retransmits alone.  Frames already
-        // carry (numFrames, frameIdx), so the receiver can reassemble
+        // carry (payloadLen, frameIdx), so the receiver can reassemble
         // from any packetization.
         for (std::size_t off = 0; off < pkt.frames.size();
              off += _mtuFrames) {
@@ -95,7 +95,6 @@ AckProtocol::sendAck(const net::Packet &data)
     proto::Frame f;
     f.header = data.frames.front().header;
     f.header.fnId = kAckFn;
-    f.header.numFrames = 1;
     f.header.frameIdx = 0;
     f.header.payloadLen = 0;
     f.header.checksum = f.computeChecksum();
@@ -163,14 +162,14 @@ bool
 AckProtocol::reassemble(net::Packet &pkt)
 {
     const proto::FrameHeader &h0 = pkt.frames.front().header;
-    if (h0.numFrames == pkt.frames.size())
+    if (h0.frameCount() == pkt.frames.size())
         return true; // whole message in one packet
     const FragKey fk{h0.connId, h0.rpcId,
                      static_cast<std::uint8_t>(h0.type)};
     FragBuf &buf = _frags[fk];
     for (proto::Frame &f : pkt.frames)
         buf.byIdx[f.header.frameIdx] = std::move(f);
-    if (buf.byIdx.size() < h0.numFrames)
+    if (buf.byIdx.size() < h0.frameCount())
         return false; // still missing fragments
     // Complete: rebuild the packet with frames in index order (the
     // map is ordered by frameIdx) and release the buffer.

@@ -160,7 +160,7 @@ class AckProtocol final : public ProtocolUnit
     };
     struct FragBuf
     {
-        std::map<std::uint8_t, proto::Frame> byIdx; ///< ordered by frameIdx
+        std::map<std::uint16_t, proto::Frame> byIdx; ///< ordered by frameIdx
     };
 
     /** Bound on per-connection out-of-order dedup state. */

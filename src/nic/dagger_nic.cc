@@ -8,6 +8,13 @@ namespace dagger::nic {
 namespace {
 /// Hardware maximum frames per CCI-P transaction (auto-batch burst cap).
 constexpr std::size_t kHwMaxBatch = 16;
+/// Per-flow ingress stall capacity, in frames.  The request buffer's
+/// free-slot FIFO backpressures the ingress pipeline ("drop or stall",
+/// request_buffer.hh); we model the stall: frames wait here until a
+/// table slot frees, and only a backlog beyond several maximum-size
+/// messages (kMaxPayloadBytes / kFramePayload = 1366 frames each) is
+/// dropped as drops_no_slot.
+constexpr std::size_t kIngressStallFrames = 8192;
 /// Poll-mode management window (§4.4.1 load-triggered switch).
 constexpr sim::Tick kPollWindow = sim::usToTicks(10);
 } // namespace
@@ -165,12 +172,19 @@ DaggerNic::onFetched(unsigned flow, std::vector<proto::Frame> frames)
                      FlowState &f = _flows[flow];
                      for (auto &frame : frames) {
                          f.partial.push_back(std::move(frame));
-                         const auto need = f.partial.front().header.numFrames;
+                         const auto need =
+                             f.partial.front().header.frameCount();
                          if (f.partial.size() < need)
                              continue;
-                         proto::RpcMessage msg;
-                         if (proto::RpcMessage::fromFrames(f.partial, msg)) {
-                             egressMessage(std::move(msg));
+                         if (proto::RpcMessage::framesConsistent(
+                                 f.partial)) {
+                             // The fetched frames came straight from
+                             // toFrames() in host memory and are
+                             // already in wire form; forward them as
+                             // the packet instead of re-framing (the
+                             // NIC batches on headers, it does not
+                             // audit host bytes).
+                             egressFrames(std::move(f.partial));
                          } else {
                              _monitor.malformed.inc();
                          }
@@ -182,21 +196,23 @@ DaggerNic::onFetched(unsigned flow, std::vector<proto::Frame> frames)
 }
 
 void
-DaggerNic::egressMessage(proto::RpcMessage msg)
+DaggerNic::egressFrames(std::vector<proto::Frame> frames)
 {
+    const proto::ConnId conn = frames.front().header.connId;
     sim::Tick penalty = 0;
-    auto tuple = _cm.lookup(msg.connId(), CmReader::OutgoingFlow, penalty);
+    auto tuple = _cm.lookup(conn, CmReader::OutgoingFlow, penalty);
     if (!tuple) {
         _monitor.dropsNoConnection.inc();
         return;
     }
     // Transport state for the connection lives in the HCC (§4.1);
     // a cold line costs one coherent fill from host memory.
-    penalty += _hcc.access(msg.connId());
-    auto send = [this, dst = tuple->destAddr, msg = std::move(msg)]() {
+    penalty += _hcc.access(conn);
+    auto send = [this, dst = tuple->destAddr,
+                 frames = std::move(frames)]() mutable {
         net::Packet pkt;
         pkt.dst = dst;
-        pkt.frames = msg.toFrames();
+        pkt.frames = std::move(frames);
         _monitor.rpcsOut.inc();
         _monitor.bytesOut.inc(pkt.wireBytes());
         if (_protocol->onEgress(pkt))
@@ -230,21 +246,39 @@ DaggerNic::onNetReceive(net::Packet pkt)
 void
 DaggerNic::steerMessage(net::Packet pkt)
 {
-    proto::RpcMessage msg;
-    if (!proto::RpcMessage::fromFrames(pkt.frames, msg)) {
+    // Steering routes on the header alone: check consistency, not
+    // checksums — integrity is gated at the transport's pre-ACK check
+    // and at receive-side reassembly, and reassembling here would add
+    // a handle pass per packet just to read connId and type.
+    if (!proto::RpcMessage::framesConsistent(pkt.frames)) {
         _monitor.malformed.inc();
         return;
     }
+    const proto::FrameHeader &h0 = pkt.frames.front().header;
     sim::Tick penalty = 0;
-    auto tuple = _cm.lookup(msg.connId(), CmReader::IncomingFlow, penalty);
+    auto tuple = _cm.lookup(h0.connId, CmReader::IncomingFlow, penalty);
     if (!tuple) {
         _monitor.dropsNoConnection.inc();
         return;
     }
-    penalty += _hcc.access(msg.connId());
-    const unsigned flow = msg.type() == proto::MsgType::Response
-        ? tuple->srcFlow % _cfg.numFlows
-        : pickFlow(msg, *tuple);
+    penalty += _hcc.access(h0.connId);
+    unsigned flow;
+    if (h0.type == proto::MsgType::Response) {
+        flow = tuple->srcFlow % _cfg.numFlows;
+    } else if (tuple->loadBalancer == LbScheme::ObjectLevel) {
+        // The object-level balancer hashes key bytes out of the
+        // payload, so this steering mode (alone) reassembles.
+        proto::RpcMessage msg;
+        if (!proto::RpcMessage::fromFrames(pkt.frames, msg)) {
+            _monitor.malformed.inc();
+            return;
+        }
+        flow = pickFlow(msg, *tuple);
+    } else {
+        const proto::RpcMessage hdr(h0.connId, h0.rpcId, h0.fnId, h0.type,
+                                    proto::PayloadBuf());
+        flow = pickFlow(hdr, *tuple);
+    }
     DAGGER_DCHECK(flow < _flows.size(),
                   "load balancer steered to nonexistent flow ", flow);
     FlowState &fs = _flows[flow];
@@ -252,14 +286,22 @@ DaggerNic::steerMessage(net::Packet pkt)
         _monitor.dropsNoConnection.inc();
         return;
     }
-    if (_reqBuffer.freeSlots() < pkt.frames.size()) {
+    if (fs.ingress.size() + pkt.frames.size() > kIngressStallFrames) {
         _monitor.dropsNoSlot.inc();
         return;
     }
     _monitor.rpcsIn.inc();
     _monitor.bytesIn.inc(pkt.wireBytes());
-    for (auto &frame : pkt.frames)
-        _reqBuffer.push(flow, std::move(frame));
+    if (fs.ingress.empty() && _reqBuffer.freeSlots() >= pkt.frames.size()) {
+        // Common case: the request table has room, so frames go
+        // straight to their slots without staging in the stall queue.
+        for (auto &frame : pkt.frames)
+            _reqBuffer.push(flow, std::move(frame));
+    } else {
+        for (auto &frame : pkt.frames)
+            fs.ingress.push_back(std::move(frame));
+        drainIngress(flow);
+    }
     if (penalty == 0) {
         maybePost(flow);
     } else {
@@ -336,11 +378,25 @@ DaggerNic::armPostTimeout(unsigned flow)
 }
 
 void
+DaggerNic::drainIngress(unsigned flow)
+{
+    FlowState &fs = _flows[flow];
+    while (!fs.ingress.empty() && _reqBuffer.freeSlots() > 0) {
+        _reqBuffer.push(flow, std::move(fs.ingress.front()));
+        fs.ingress.pop_front();
+    }
+}
+
+void
 DaggerNic::issuePost(unsigned flow, std::size_t frames)
 {
     FlowState &fs = _flows[flow];
     auto batch = _reqBuffer.pop(flow, frames);
     dagger_assert(batch.size() == frames, "request buffer under-delivered");
+    // Popping returned slots to the free FIFO; stalled ingress frames
+    // claim them immediately so large messages stream through the
+    // table in batch-sized waves.
+    drainIngress(flow);
     _monitor.framesPosted.inc(frames);
     _monitor.postBatch.record(frames);
     _port.post(static_cast<unsigned>(frames),

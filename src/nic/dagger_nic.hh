@@ -19,6 +19,7 @@
 #define DAGGER_NIC_DAGGER_NIC_HH
 
 #include <array>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -127,6 +128,8 @@ class DaggerNic
         unsigned outstandingFetches = 0;
         /// egress grouping of multi-frame messages
         std::vector<proto::Frame> partial;
+        /// ingress frames stalled waiting for a request-buffer slot
+        std::deque<proto::Frame> ingress;
     };
 
     sim::Tick pipelineDelay() const
@@ -141,11 +144,12 @@ class DaggerNic
     void issueFetch(unsigned flow, std::size_t frames);
     void armFetchTimeout(unsigned flow);
     void onFetched(unsigned flow, std::vector<proto::Frame> frames);
-    void egressMessage(proto::RpcMessage msg);
+    void egressFrames(std::vector<proto::Frame> frames);
 
     // --- TX path (network -> host) ---
     void onNetReceive(net::Packet pkt);
     void steerMessage(net::Packet pkt);
+    void drainIngress(unsigned flow);
     unsigned pickFlow(const proto::RpcMessage &msg, const ConnTuple &tuple);
     void maybePost(unsigned flow);
     void issuePost(unsigned flow, std::size_t frames);

@@ -8,29 +8,28 @@
  * bytes of payload; RPCs larger than 48 B are split into multiple
  * frames and reassembled in software (the paper's stated limitation —
  * hardware CAM-based reassembly is future work there and here).
+ *
+ * Frames model the wire, they do not own payload bytes: a Frame holds
+ * a PayloadView into the message's refcounted PayloadBuf, so slicing a
+ * message into frames, queueing them through rings and the switch, and
+ * reassembling them at the receiver are all handle operations.  The
+ * wire *model* is unchanged — liveBytes(), checksums, and the 64 B
+ * per-frame accounting are computed over the viewed bytes exactly as
+ * they were over the old owned 48 B array.
  */
 
 #ifndef DAGGER_PROTO_WIRE_HH
 #define DAGGER_PROTO_WIRE_HH
 
-#include <array>
 #include <cstdint>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
 
+#include "proto/payload.hh"
 #include "sim/logging.hh"
 
 namespace dagger::proto {
-
-/** Cache line size of the host CPU and the interconnect MTU. */
-constexpr std::size_t kCacheLineBytes = 64;
-
-/** Header bytes per frame. */
-constexpr std::size_t kHeaderBytes = 16;
-
-/** Payload bytes per frame. */
-constexpr std::size_t kFramePayload = kCacheLineBytes - kHeaderBytes;
 
 /** Request vs. response marker (paper §4.4: "request type field"). */
 enum class MsgType : std::uint8_t {
@@ -51,7 +50,9 @@ using FnId = std::uint16_t;
  * Frame header, 16 bytes, packed.  Every 64 B frame of a multi-frame
  * RPC repeats the header with an incremented frame_idx so that frames
  * are self-describing (the reassembler needs no per-flow state beyond
- * a map keyed by (conn_id, rpc_id)).
+ * a map keyed by (conn_id, rpc_id)).  The frame count is derived from
+ * payloadLen rather than stored: a 16-bit frameIdx lets one RPC span
+ * up to ceil(kMaxPayloadBytes / 48) = 1366 frames.
  */
 struct FrameHeader
 {
@@ -60,10 +61,19 @@ struct FrameHeader
     FnId fnId = 0;
     std::uint16_t payloadLen = 0; ///< total RPC payload bytes
     MsgType type = MsgType::Request;
-    std::uint8_t numFrames = 1;
-    std::uint8_t frameIdx = 0;
     std::uint8_t checksum = 0;    ///< xor over this frame's live payload
                                   ///< bytes, mixed with frameIdx
+    std::uint16_t frameIdx = 0;
+
+    /** Frames the whole message occupies (derived from payloadLen). */
+    std::uint16_t
+    frameCount() const
+    {
+        if (payloadLen == 0)
+            return 1;
+        return static_cast<std::uint16_t>(
+            (payloadLen + kFramePayload - 1) / kFramePayload);
+    }
 
     bool operator==(const FrameHeader &) const = default;
 };
@@ -89,11 +99,19 @@ struct TransportHeader
 static_assert(sizeof(FrameHeader) == kHeaderBytes,
               "FrameHeader must be exactly 16 bytes");
 
-/** One 64-byte frame: what actually crosses the interconnect. */
+/**
+ * One frame: 16 B header plus a view of the message payload slice it
+ * carries.  On the wire this is exactly one cache line (kWireBytes);
+ * in host memory the payload bytes live once in the message's
+ * PayloadBuf and every frame references them.
+ */
 struct Frame
 {
+    /** Bytes this frame occupies on the modeled wire. */
+    static constexpr std::size_t kWireBytes = kCacheLineBytes;
+
     FrameHeader header;
-    std::array<std::uint8_t, kFramePayload> payload{};
+    PayloadView view; ///< this frame's live payload bytes
 
     /** Payload bytes of the message that live in this frame. */
     std::size_t
@@ -107,15 +125,37 @@ struct Frame
                         static_cast<std::size_t>(header.payloadLen) - off);
     }
 
+    /**
+     * Payload byte @p i as it appears on the wire: the viewed bytes,
+     * zero-padded to the frame boundary.
+     */
+    std::uint8_t payloadByte(std::size_t i) const { return view.byteAt(i); }
+
     /** Checksum over this frame's live bytes, mixed with its index. */
     std::uint8_t
     computeChecksum() const
     {
-        std::uint8_t sum = header.frameIdx;
-        const std::size_t n = liveBytes();
-        for (std::size_t i = 0; i < n; ++i)
-            sum ^= payload[i];
-        return sum;
+        // The wire bytes are the view zero-padded to liveBytes(); the
+        // padding XORs to identity, so only the viewed prefix counts.
+        // XOR is associative, so fold a word at a time — this runs
+        // twice per frame per hop and the byte-serial loop was the
+        // single hottest instruction stream in the whole echo path.
+        const std::size_t n = std::min(liveBytes(), view.size());
+        const std::uint8_t *p = view.data();
+        std::uint64_t acc = 0;
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, p + i, 8);
+            acc ^= w;
+        }
+        std::uint8_t sum = static_cast<std::uint8_t>(header.frameIdx);
+        for (; i < n; ++i)
+            sum ^= p[i];
+        acc ^= acc >> 32;
+        acc ^= acc >> 16;
+        acc ^= acc >> 8;
+        return sum ^ static_cast<std::uint8_t>(acc);
     }
 
     /**
@@ -125,30 +165,49 @@ struct Frame
      * sender and is retransmitted.
      */
     bool verifyChecksum() const { return computeChecksum() == header.checksum; }
+
+    /**
+     * Copy-on-write corruption (FaultInjector and tests): materialize
+     * a private copy of this frame's live bytes, flip byte @p i, and
+     * repoint the view at the copy.  Other frames — duplicates in
+     * flight, the sender's retransmission copy — keep referencing the
+     * original intact bytes.  The stored checksum is left stale so the
+     * ingress gate detects the damage.
+     */
+    void corruptPayloadByte(std::size_t i);
+
+    /**
+     * Test-construction helper: point this frame at @p len bytes of
+     * @p src (copied into a private buffer).  toFrames() is the real
+     * producer; tests building frames by hand use this.
+     */
+    void setPayload(const void *src, std::size_t len);
 };
 
-static_assert(sizeof(Frame) == kCacheLineBytes,
-              "Frame must be exactly one cache line");
-
 /**
- * A complete RPC message: header metadata plus contiguous payload.
- * This is the unit the software API and the NIC RPC unit operate on.
+ * A complete RPC message: header metadata plus a refcounted flat
+ * payload.  This is the unit the software API and the NIC RPC unit
+ * operate on.  Copying a message passes the payload handle.
  */
 class RpcMessage
 {
   public:
     RpcMessage() = default;
 
-    /** Build a message from raw payload bytes. */
+    /** Build a message from raw payload bytes (the copying API edge). */
     RpcMessage(ConnId conn, RpcId rpc, FnId fn, MsgType type,
                const void *payload, std::size_t len);
+
+    /** Build a message around an existing payload handle (no copy). */
+    RpcMessage(ConnId conn, RpcId rpc, FnId fn, MsgType type,
+               PayloadBuf payload);
 
     ConnId connId() const { return _connId; }
     RpcId rpcId() const { return _rpcId; }
     FnId fnId() const { return _fnId; }
     MsgType type() const { return _type; }
 
-    const std::vector<std::uint8_t> &payload() const { return _payload; }
+    const PayloadBuf &payload() const { return _payload; }
     std::size_t payloadLen() const { return _payload.size(); }
 
     /** Number of 64 B frames this message occupies on the wire. */
@@ -157,24 +216,52 @@ class RpcMessage
     /** Total wire bytes (frames * 64). */
     std::size_t wireBytes() const { return frameCount() * kCacheLineBytes; }
 
-    /** Split into wire frames. */
+    /** Slice into wire frames (handle passes, no byte copies). */
     std::vector<Frame> toFrames() const;
 
     /**
      * Reassemble from frames.  Frames may arrive in order within one
-     * message (per-flow FIFO order is preserved by the fabric).
+     * message (per-flow FIFO order is preserved by the fabric).  When
+     * every frame views the same underlying buffer at its wire offset
+     * — the invariant toFrames() establishes — the buffer is adopted
+     * outright; otherwise the bytes are gathered into a fresh buffer
+     * (and counted as copies).
      * @retval false malformed input (count/len/checksum mismatch).
      */
     static bool fromFrames(const std::vector<Frame> &frames,
                            RpcMessage &out);
 
-    /** Copy payload into a POD @p T (size must match exactly). */
+    /**
+     * Single-frame fast path (the common small-RPC case): identical
+     * semantics to fromFrames() on a one-element vector, without
+     * materializing the vector.
+     */
+    static bool fromFrame(const Frame &frame, RpcMessage &out);
+
+    /**
+     * The validation half of fromFrames() — header consistency and
+     * per-frame checksums — without reassembling the payload.
+     */
+    static bool validateFrames(const std::vector<Frame> &frames);
+
+    /**
+     * Header-consistency check alone: frameIdx sequence, shared
+     * connId/rpcId/payloadLen, complete frame count — no checksum
+     * work.  Hardware stages that only route or batch on headers
+     * (NIC steering, egress packetization) use this; payload
+     * integrity is enforced where the architecture places the gates —
+     * the transport's pre-ACK check and receive-side reassembly.
+     */
+    static bool framesConsistent(const std::vector<Frame> &frames);
+
+    /** Copy payload into a POD @p T (the read-side API edge). */
     template <typename T>
     bool
     payloadAs(T &out) const
     {
         if (_payload.size() != sizeof(T))
             return false;
+        detail::addBytesCopied(sizeof(T));
         std::memcpy(&out, _payload.data(), sizeof(T));
         return true;
     }
@@ -192,22 +279,25 @@ class RpcMessage
     RpcId _rpcId = 0;
     FnId _fnId = 0;
     MsgType _type = MsgType::Request;
-    std::vector<std::uint8_t> _payload;
+    PayloadBuf _payload;
 };
 
 /**
  * Software frame reassembler (paper §4.7: "Dagger only features
  * software-based RPC reassembling").  Keyed by (conn, rpc, type);
  * complete() fires the instant the last frame of a message arrives.
+ * Buffered frames keep their payload views, so the source buffer
+ * stays alive for as long as any message is under assembly.
  */
 class Reassembler
 {
   public:
     /**
-     * Feed one frame.
+     * Feed one frame (by value: callers that own the frame move it in
+     * and the buffered copy is a handle steal, not a handle pass).
      * @retval true @p out now holds a complete message.
      */
-    bool push(const Frame &frame, RpcMessage &out);
+    bool push(Frame frame, RpcMessage &out);
 
     /** Messages currently under assembly. */
     std::size_t inFlight() const { return _partial.size(); }

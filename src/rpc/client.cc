@@ -63,6 +63,17 @@ RpcClient::issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
                      std::size_t len, ResponseCb cb, StatusCb scb)
 {
     dagger_assert(conn != 0, "callAsync without a connection");
+    if (len > proto::kMaxPayloadBytes) {
+        // Recoverable API error: the wire format cannot carry this
+        // payload (payloadLen is 16-bit), so the call is refused
+        // before any simulated work instead of tripping an assert.
+        ++_sendFailures;
+        if (scb) {
+            proto::RpcMessage empty;
+            scb(CallStatus::Rejected, empty);
+        }
+        return;
+    }
     DaggerSystem &sys = _node.system();
     sim::Tick cost = sys.sendCpuCost(_node) +
                      _node.nicDev().cciPort().hostPollPenalty();
@@ -70,10 +81,11 @@ RpcClient::issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
         cost += sys.swCost().srqLockCost;
 
     const proto::RpcId rpc_id = _nextRpcId++;
-    proto::RpcMessage msg(conn, rpc_id, fn, proto::MsgType::Request, data,
-                          len);
+    proto::PayloadBuf payload(data, len);
     if (_bestEffort) {
         // Fire and forget: no pending entry, no completion tracking.
+        proto::RpcMessage msg(conn, rpc_id, fn, proto::MsgType::Request,
+                              std::move(payload));
         _thread.execute(cost, [this, msg = std::move(msg)]() {
             if (_node.flow(_flow).tx.push(msg))
                 ++_sent;
@@ -86,15 +98,16 @@ RpcClient::issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
     entry.cb = std::move(cb);
     entry.scb = std::move(scb);
     if (_retry.enabled()) {
-        // Keep what a resend needs; without a policy this copy (and
+        // Keep what a resend needs; without a policy this handle (and
         // the timer) is skipped and tracked calls cost what they
         // always did.
         entry.conn = conn;
         entry.fn = fn;
-        const auto *bytes = static_cast<const std::uint8_t *>(data);
-        entry.payload.assign(bytes, bytes + len);
+        entry.payload = payload;
     }
     _pending.emplace(rpc_id, std::move(entry));
+    proto::RpcMessage msg(conn, rpc_id, fn, proto::MsgType::Request,
+                          std::move(payload));
 
     _thread.execute(cost, [this, rpc_id, msg = std::move(msg)]() {
         auto it = _pending.find(rpc_id);
@@ -166,7 +179,7 @@ RpcClient::onCallTimeout(proto::RpcId rpc_id)
     ++_retriesSent;
     _node.system().reliability().retries.inc();
     proto::RpcMessage msg(p.conn, rpc_id, p.fn, proto::MsgType::Request,
-                          p.payload.data(), p.payload.size());
+                          p.payload);
     DaggerSystem &sys = _node.system();
     sim::Tick cost = sys.sendCpuCost(_node) +
                      _node.nicDev().cciPort().hostPollPenalty();
@@ -185,6 +198,10 @@ void
 RpcClient::callOneWay(proto::FnId fn, const void *data, std::size_t len)
 {
     dagger_assert(_conn != 0, "callOneWay without a connection");
+    if (len > proto::kMaxPayloadBytes) {
+        ++_sendFailures; // recoverable: refused before any work
+        return;
+    }
     DaggerSystem &sys = _node.system();
     sim::Tick cost = sys.sendCpuCost(_node) +
                      _node.nicDev().cciPort().hostPollPenalty();

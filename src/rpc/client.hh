@@ -31,6 +31,7 @@ namespace dagger::rpc {
 enum class CallStatus : std::uint8_t {
     Ok,       ///< response arrived; the message argument is valid
     TimedOut, ///< retry budget exhausted; the message argument is empty
+    Rejected, ///< payload exceeds proto::kMaxPayloadBytes; never sent
 };
 
 /**
@@ -108,9 +109,9 @@ class RpcClient
 
     /**
      * Install a per-call timeout/retry policy.  When enabled, the
-     * client keeps a payload copy per in-flight call and resends it on
-     * timeout with capped exponential backoff; budget exhaustion is
-     * surfaced through the StatusCb (or just the timeouts() counter
+     * client keeps the payload handle per in-flight call and resends
+     * it on timeout with capped exponential backoff; budget exhaustion
+     * is surfaced through the StatusCb (or just the timeouts() counter
      * for plain-callback calls).
      */
     void setRetryPolicy(RetryPolicy policy) { _retry = policy; }
@@ -193,10 +194,12 @@ class RpcClient
         StatusCb scb;
         sim::Tick sentAt = 0;
         unsigned attempt = 0; ///< resends issued so far
-        // Resend state, kept only while a RetryPolicy is enabled.
+        // Resend state, kept only while a RetryPolicy is enabled.  The
+        // payload handle is shared with the in-flight message: resends
+        // re-wrap it, they never re-copy the bytes.
         proto::ConnId conn = 0;
         proto::FnId fn = 0;
-        std::vector<std::uint8_t> payload;
+        proto::PayloadBuf payload;
     };
     std::unordered_map<proto::RpcId, Pending> _pending;
 

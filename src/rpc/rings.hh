@@ -196,7 +196,7 @@ class RxRing
         while (!_frames.empty()) {
             proto::Frame f = std::move(_frames.front());
             _frames.pop_front();
-            if (_reassembler.push(f, out))
+            if (_reassembler.push(std::move(f), out))
                 return true;
         }
         return false;

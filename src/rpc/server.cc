@@ -155,8 +155,7 @@ RpcServerThread::finishRequest(const proto::RpcMessage &req,
         return;
     proto::RpcMessage resp(req.connId(), req.rpcId(), req.fnId(),
                            proto::MsgType::Response,
-                           outcome.response.data(),
-                           outcome.response.size());
+                           std::move(outcome.response));
     TxRing &tx = _node.flow(_flow).tx;
     if (!_txBacklog.empty() || !tx.push(resp)) {
         ++_txBlocked;

@@ -35,8 +35,14 @@ namespace dagger::rpc {
 /** What a handler produces. */
 struct HandlerOutcome
 {
-    /** Response payload (ignored when respond == false). */
-    std::vector<std::uint8_t> response;
+    /**
+     * Response payload (ignored when respond == false).  A handle:
+     * echoing the request payload (`out.response = req.payload()`) or
+     * forwarding another message's bytes costs a refcount bump, not a
+     * copy; fresh bytes enter via proto::PayloadBuf::ofPod or the
+     * copying constructor.
+     */
+    proto::PayloadBuf response;
 
     /** Simulated CPU time the handler consumes. */
     sim::Tick cost = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "proto/payload.hh"
 #include "sim/logging.hh"
 
 namespace dagger::rpc {
@@ -130,6 +131,17 @@ DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
                 sim::MetricText::Hide);
     rel.counter("late_responses", _reliability.lateResponses,
                 sim::MetricText::Hide);
+    // Payload-path traffic accounting (JSON-only).  The counters are
+    // process-global (proto::payloadStats()), not per-system: they
+    // prove the zero-copy invariant — bytes_copied stays O(payload)
+    // per RPC while handle_passes grows with hop count.
+    sim::MetricScope pay = root.sub("sim").sub("payload");
+    pay.intGauge("bytes_copied",
+                 [] { return proto::payloadStats().bytesCopied; },
+                 sim::MetricText::Hide);
+    pay.intGauge("handle_passes",
+                 [] { return proto::payloadStats().handlePasses; },
+                 sim::MetricText::Hide);
 }
 
 sim::EventQueue::EngineStats

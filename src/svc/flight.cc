@@ -145,8 +145,7 @@ FlightApp::installHandlers()
                 : _cfg.flightExpensiveCost;
             _tracer.record("flight", out.cost);
             TierResp resp{r.passengerId, 1};
-            out.response.resize(sizeof(resp));
-            std::memcpy(out.response.data(), &resp, sizeof(resp));
+            out.response = proto::PayloadBuf::ofPod(resp);
             return out;
         });
 
@@ -162,8 +161,7 @@ FlightApp::installHandlers()
             out.cost = _cfg.baggageCost;
             _tracer.record("baggage", out.cost);
             TierResp resp{r.passengerId, 1};
-            out.response.resize(sizeof(resp));
-            std::memcpy(out.response.data(), &resp, sizeof(resp));
+            out.response = proto::PayloadBuf::ofPod(resp);
             return out;
         });
 

@@ -18,7 +18,7 @@ frameWithTag(std::uint8_t tag)
 {
     proto::Frame f;
     f.header.rpcId = tag;
-    f.payload[0] = tag;
+    f.setPayload(&tag, 1);
     return f;
 }
 
@@ -31,8 +31,8 @@ TEST(RequestBuffer, PushPopRoundTrip)
     EXPECT_EQ(rb.freeSlots(), 6u);
     auto out = rb.pop(0, 2);
     ASSERT_EQ(out.size(), 2u);
-    EXPECT_EQ(out[0].payload[0], 1);
-    EXPECT_EQ(out[1].payload[0], 2);
+    EXPECT_EQ(out[0].payloadByte(0), 1);
+    EXPECT_EQ(out[1].payloadByte(0), 2);
     EXPECT_EQ(rb.freeSlots(), 8u);
 }
 
@@ -45,7 +45,7 @@ TEST(RequestBuffer, FlowsAreIndependent)
     EXPECT_EQ(rb.flowDepth(1), 1u);
     auto out = rb.pop(1, 4);
     ASSERT_EQ(out.size(), 1u);
-    EXPECT_EQ(out[0].payload[0], 2);
+    EXPECT_EQ(out[0].payloadByte(0), 2);
     EXPECT_EQ(rb.flowDepth(0), 1u);
 }
 
@@ -67,7 +67,7 @@ TEST(RequestBuffer, SlotsRecycleIndefinitely)
         ASSERT_TRUE(rb.push(0, frameWithTag(round & 0xff)).has_value());
         auto out = rb.pop(0, 1);
         ASSERT_EQ(out.size(), 1u);
-        ASSERT_EQ(out[0].payload[0], round & 0xff);
+        ASSERT_EQ(out[0].payloadByte(0), round & 0xff);
     }
     EXPECT_EQ(rb.freeSlots(), 4u);
     EXPECT_EQ(rb.pushes(), 1000u);

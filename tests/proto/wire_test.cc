@@ -25,11 +25,14 @@ makeMsg(std::size_t len, ConnId conn = 3, RpcId rpc = 9, FnId fn = 2,
     return RpcMessage(conn, rpc, fn, type, payload.data(), payload.size());
 }
 
-TEST(Wire, FrameIsOneCacheLine)
+TEST(Wire, FrameModelsOneCacheLine)
 {
-    EXPECT_EQ(sizeof(Frame), kCacheLineBytes);
+    // The in-memory Frame is a header plus a payload *view*; what it
+    // models on the wire is still one 64-byte cache line.
+    EXPECT_EQ(Frame::kWireBytes, kCacheLineBytes);
     EXPECT_EQ(sizeof(FrameHeader), kHeaderBytes);
     EXPECT_EQ(kFramePayload, 48u);
+    EXPECT_EQ(kHeaderBytes + kFramePayload, kCacheLineBytes);
 }
 
 TEST(Wire, EmptyPayloadUsesOneFrame)
@@ -77,7 +80,7 @@ TEST(Wire, ChecksumDetectsCorruption)
 {
     RpcMessage m = makeMsg(100);
     auto frames = m.toFrames();
-    frames[1].payload[5] ^= 0xff;
+    frames[1].corruptPayloadByte(5);
     RpcMessage out;
     EXPECT_FALSE(RpcMessage::fromFrames(frames, out));
 }

@@ -11,6 +11,7 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "rpc/client.hh"
 #include "rpc/server.hh"
@@ -61,10 +62,15 @@ struct Rig
         });
         server->registerHandler(kUpper, [](const proto::RpcMessage &req) {
             HandlerOutcome out;
-            out.response = req.payload();
-            for (auto &b : out.response)
+            // A transforming handler is a genuine copy boundary: pull
+            // the bytes out of the immutable buffer, rewrite, rewrap.
+            std::vector<std::uint8_t> up(
+                req.payload().data(),
+                req.payload().data() + req.payload().size());
+            for (auto &b : up)
                 b = static_cast<std::uint8_t>(
                     std::toupper(static_cast<int>(b)));
+            out.response = proto::PayloadBuf(up.data(), up.size());
             out.cost = sim::nsToTicks(120);
             return out;
         });

@@ -102,14 +102,14 @@ class LintTest : public ::testing::Test
     fs::path _src;
 };
 
-TEST_F(LintTest, ListRulesNamesAllSix)
+TEST_F(LintTest, ListRulesNamesAllSeven)
 {
     const RunResult r = run(lint("--list-rules"));
     EXPECT_EQ(r.exit_code, 0);
     for (const char *rule :
          {"no-wallclock", "seeded-rng-only", "no-unordered-iteration-order",
           "no-raw-new-in-sim", "event-handler-noexcept",
-          "no-cross-shard-schedule"})
+          "no-cross-shard-schedule", "no-payload-memcpy"})
         EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
 }
 
@@ -124,9 +124,10 @@ TEST_F(LintTest, FixtureTreeProducesExactRuleHits)
     EXPECT_EQ(ruleHits(r.out, "no-raw-new-in-sim"), 1u);
     EXPECT_EQ(ruleHits(r.out, "event-handler-noexcept"), 1u);
     EXPECT_EQ(ruleHits(r.out, "no-cross-shard-schedule"), 3u);
+    EXPECT_EQ(ruleHits(r.out, "no-payload-memcpy"), 2u);
     // 3 from suppressed.cc + 1 from bench_wallclock.cc + 1 from
-    // cross_shard.cc.
-    EXPECT_NE(r.out.find("\"suppressed\": 5"), std::string::npos) << r.out;
+    // cross_shard.cc + 1 from payload_memcpy.cc.
+    EXPECT_NE(r.out.find("\"suppressed\": 6"), std::string::npos) << r.out;
     EXPECT_NE(r.out.find("\"ok\": false"), std::string::npos);
 }
 
@@ -198,6 +199,36 @@ TEST_F(LintTest, CrossShardRuleExemptsTests)
                  (_root / "tests").string()));
     EXPECT_EQ(r.exit_code, 0) << r.out;
     EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, PayloadMemcpyRuleExemptsProtoDir)
+{
+    // src/proto/ is where PayloadBuf's counted copies live; the same
+    // offending file that fires 2 findings under src/ must be clean
+    // when staged under src/proto/.
+    const fs::path proto = _src / "proto";
+    fs::create_directories(proto);
+    fs::copy_file(fs::path(DAGGER_LINT_FIXTURES) / "payload_memcpy.cc.in",
+                  proto / "payload_impl.cc",
+                  fs::copy_options::overwrite_existing);
+    const RunResult r = run(lint("--json --rule no-payload-memcpy " +
+                                 (proto / "payload_impl.cc").string()));
+    EXPECT_EQ(r.exit_code, 0) << r.out;
+    EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+    // Not even suppressions: the rule never ran on the file.
+    EXPECT_NE(r.out.find("\"suppressed\": 0"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, PayloadMemcpyRuleFlagsOnlyPayloadBytes)
+{
+    const RunResult r = run(lint("--json --rule no-payload-memcpy " +
+                                 (_src / "payload_memcpy.cc").string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "no-payload-memcpy"), 2u) << r.out;
+    // The allow-comment form suppresses; the POD field build (line 27)
+    // never fires at all.
+    EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("\"line\": 27"), std::string::npos) << r.out;
 }
 
 TEST_F(LintTest, CleanFileExitsZero)

@@ -29,6 +29,14 @@
  *                                 the event lands in a foreign domain
  *                                 — use the owning DaggerNode::eq()
  *                                 or a local EventQueue reference
+ *   no-payload-memcpy             raw memcpy/memmove of payload bytes
+ *                                 in src/ outside src/proto/; the
+ *                                 payload path moves
+ *                                 proto::PayloadBuf/PayloadView
+ *                                 handles — byte copies live only
+ *                                 behind the PayloadBuf API so the
+ *                                 sim.payload.bytes_copied counter
+ *                                 stays honest
  *
  * Findings are suppressed per line with `// dagger-lint: allow(<rule>)`
  * (comma-separated rules, or `all`).  A comment-only allow line covers
@@ -65,6 +73,7 @@ const std::vector<std::string> kAllRules = {
     "no-raw-new-in-sim",
     "event-handler-noexcept",
     "no-cross-shard-schedule",
+    "no-payload-memcpy",
 };
 
 struct Finding
@@ -549,6 +558,45 @@ ruleNoCrossShardSchedule(const FileText &ft, std::vector<Finding> &out)
     }
 }
 
+void
+ruleNoPayloadMemcpy(const FileText &ft, std::vector<Finding> &out)
+{
+    // Polices the simulator proper.  src/proto/ is the one sanctioned
+    // home for payload byte copies: PayloadBuf's constructors count
+    // every copied byte into sim.payload.bytes_copied, so a raw
+    // memcpy elsewhere is both a needless copy and an uncounted one.
+    // Tests, benches and examples are exempt (they build fixtures).
+    if (ft.path.find("src/") == std::string::npos)
+        return;
+    if (ft.path.find("src/proto/") != std::string::npos)
+        return;
+    // Heuristic: the copy must touch message bytes.  POD field builds
+    // (memcpy into a request struct's key/value members) stay legal.
+    static const char *hints[] = {"payload", "Payload", "response",
+                                  "Response", "frame", "Frame"};
+    for (std::size_t i = 0; i < ft.code.size(); ++i) {
+        const std::string &line = ft.code[i];
+        if (findToken(line, "memcpy") == std::string::npos &&
+            findToken(line, "memmove") == std::string::npos)
+            continue;
+        bool touchesPayload = false;
+        for (const char *h : hints) {
+            if (line.find(h) != std::string::npos) {
+                touchesPayload = true;
+                break;
+            }
+        }
+        if (!touchesPayload)
+            continue;
+        out.push_back(
+            {ft.path, i + 1, "no-payload-memcpy",
+             "raw memcpy/memmove of payload bytes outside src/proto/; "
+             "pass proto::PayloadBuf/PayloadView handles (or build "
+             "fresh bytes via PayloadBuf::ofPod) so copies stay "
+             "counted in sim.payload.bytes_copied"});
+    }
+}
+
 // ----------------------------- driver -----------------------------------
 
 std::string
@@ -696,6 +744,8 @@ main(int argc, char **argv)
             ruleEventHandlerNoexcept(ft, headerPtr, fileFindings);
         if (active.count("no-cross-shard-schedule"))
             ruleNoCrossShardSchedule(ft, fileFindings);
+        if (active.count("no-payload-memcpy"))
+            ruleNoPayloadMemcpy(ft, fileFindings);
 
         for (Finding &f : fileFindings) {
             const auto it = ft.allows.find(f.line);
