@@ -122,6 +122,11 @@ CciPort::bindHost(sim::ShardedEngine &engine, unsigned shard,
     _engine = &engine;
     _shard = shard;
     _hostEq = &hostEq;
+    _guard.bind(&engine, shard);
+    // Both channel directions are shard-0 state shared by every port;
+    // first bind wins, later binds re-tag identically.
+    _fabric._toNic.ownershipGuard().bind(&engine, 0);
+    _fabric._toHost.ownershipGuard().bind(&engine, 0);
 }
 
 EventQueue &
@@ -197,6 +202,7 @@ void
 CciPort::submit(Op op)
 {
     DAGGER_DCHECK(op.lines > 0, "zero-line CCI-P op on port ", _id);
+    _guard.check("ic::CciPort outstanding window");
     if (_inFlight >= _fabric._maxOutstanding) {
         ++_stalls;
         _pendingWindow.push_back(std::move(op));
@@ -266,6 +272,7 @@ void
 CciPort::completed()
 {
     dagger_assert(_inFlight > 0, "completion without in-flight op");
+    _guard.check("ic::CciPort outstanding window");
     --_inFlight;
     if (!_pendingWindow.empty()) {
         Op op = std::move(_pendingWindow.front());

@@ -20,8 +20,10 @@
 
 #include "ic/channel.hh"
 #include "ic/cost_model.hh"
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
+#include "sim/ownership.hh"
 
 namespace dagger::sim {
 class ShardedEngine;
@@ -117,15 +119,19 @@ class CciPort
     sim::ShardedEngine *_engine = nullptr;
     unsigned _shard = 0;
     EventQueue *_hostEq = nullptr;
-    PollMode _pollMode = PollMode::LocalCache;
-    unsigned _inFlight = 0;
-    std::deque<Op> _pendingWindow; ///< ops waiting for an outstanding slot
+    // The outstanding-transaction window and its statistics run in the
+    // owning node's domain; completions cross back via postCross.
+    DAGGER_OWNED_BY(node) PollMode _pollMode = PollMode::LocalCache;
+    DAGGER_OWNED_BY(node) unsigned _inFlight = 0;
+    /// ops waiting for an outstanding slot
+    DAGGER_OWNED_BY(node) std::deque<Op> _pendingWindow;
 
-    std::uint64_t _fetchTxns = 0;
-    std::uint64_t _postTxns = 0;
-    std::uint64_t _linesFetched = 0;
-    std::uint64_t _linesPosted = 0;
-    std::uint64_t _stalls = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _fetchTxns = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _postTxns = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _linesFetched = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _linesPosted = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _stalls = 0;
+    sim::OwnershipGuard _guard;
 };
 
 /**

@@ -33,6 +33,8 @@ TorSwitch::bindPort(NodeId node, EventQueue &eq, unsigned shard)
     SwitchPort &port = attach(node);
     port._eq = &eq;
     port._shard = shard;
+    if (_engine)
+        port._guard.bind(_engine, shard);
 }
 
 std::uint64_t
@@ -121,6 +123,9 @@ TorSwitch::route(Packet pkt)
 void
 TorSwitch::enqueueEgress(SwitchPort &port, Packet pkt)
 {
+    // Egress state is node-domain: on a sharded system this runs in
+    // the destination port's shard (send() crossed the packet over).
+    port._guard.check("net::SwitchPort egress pipeline");
     if (port._egressQueue.size() >= _queueCap) {
         ++port._dropped;
         return;
@@ -133,6 +138,7 @@ TorSwitch::enqueueEgress(SwitchPort &port, Packet pkt)
 void
 TorSwitch::drainEgress(SwitchPort &port)
 {
+    port._guard.check("net::SwitchPort egress pipeline");
     if (port._egressQueue.empty()) {
         port._egressBusy = false;
         return;

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "proto/wire.hh"
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
+#include "sim/ownership.hh"
 #include "sim/time.hh"
 
 namespace dagger::sim {
@@ -102,17 +104,18 @@ class SwitchPort
 
     // Per-port counters so a sharded run never shares a cache line of
     // statistics across domains; the switch accessors sum them.
-    std::uint64_t _forwarded = 0;  ///< packets serialized out (egress)
-    std::uint64_t _dropped = 0;    ///< egress-queue overflows (egress)
-    std::uint64_t _unroutable = 0; ///< sends to unknown nodes (ingress)
+    DAGGER_OWNED_BY(node) std::uint64_t _forwarded = 0;  ///< egress
+    DAGGER_OWNED_BY(node) std::uint64_t _dropped = 0;    ///< overflows
+    DAGGER_OWNED_BY(node) std::uint64_t _unroutable = 0; ///< ingress
 
     // Egress side (switch -> this port).
-    std::deque<Packet> _egressQueue;
-    bool _egressBusy = false;
+    DAGGER_OWNED_BY(node) std::deque<Packet> _egressQueue;
+    DAGGER_OWNED_BY(node) bool _egressBusy = false;
     /** Packet currently serializing out of this port.  Parked here so
      *  the serialization-done event captures only [this, &port] and
      *  stays inline; egress serializes one packet at a time. */
-    Packet _inFlight;
+    DAGGER_OWNED_BY(node) Packet _inFlight;
+    sim::OwnershipGuard _guard;
 };
 
 /**

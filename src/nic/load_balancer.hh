@@ -20,6 +20,7 @@
 #include "nic/config.hh"
 #include "nic/connection_manager.hh"
 #include "proto/wire.hh"
+#include "sim/check.hh"
 
 namespace dagger::nic {
 
@@ -57,7 +58,8 @@ class RoundRobinLb final : public LoadBalancer
     LbScheme scheme() const override { return LbScheme::RoundRobin; }
 
   private:
-    unsigned _next = 0;
+    /// round-robin cursor; owned by the steering NIC's node domain
+    DAGGER_OWNED_BY(node) unsigned _next = 0;
 };
 
 /** Static balancing: steering recorded in the connection tuple. */

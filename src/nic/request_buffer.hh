@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "proto/wire.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 
@@ -80,11 +81,13 @@ class RequestBuffer
     }
 
   private:
-    std::vector<proto::Frame> _table;
-    std::deque<SlotId> _freeFifo;
-    std::vector<std::deque<SlotId>> _flowFifos;
-    std::uint64_t _pushes = 0;
-    std::uint64_t _rejections = 0;
+    // Embedded in a DaggerNic: node-domain state like the rest of the
+    // TX pipeline.
+    DAGGER_OWNED_BY(node) std::vector<proto::Frame> _table;
+    DAGGER_OWNED_BY(node) std::deque<SlotId> _freeFifo;
+    DAGGER_OWNED_BY(node) std::vector<std::deque<SlotId>> _flowFifos;
+    DAGGER_OWNED_BY(node) std::uint64_t _pushes = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _rejections = 0;
 };
 
 } // namespace dagger::nic

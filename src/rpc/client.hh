@@ -23,6 +23,7 @@
 #include "rpc/completion_queue.hh"
 #include "rpc/cpu.hh"
 #include "rpc/system.hh"
+#include "sim/check.hh"
 #include "sim/stats.hh"
 
 namespace dagger::rpc {
@@ -182,10 +183,12 @@ class RpcClient
     unsigned _flow;
     HwThread &_thread;
     proto::ConnId _conn = 0;
-    proto::RpcId _nextRpcId = 1;
+    // Call state below runs on the owning node's shard queue (the
+    // client's HwThread events and NIC delivery share that domain).
+    DAGGER_OWNED_BY(node) proto::RpcId _nextRpcId = 1;
     bool _shared = false;
     bool _bestEffort = false;
-    bool _rxScheduled = false;
+    DAGGER_OWNED_BY(node) bool _rxScheduled = false;
     RetryPolicy _retry;
 
     struct Pending
@@ -201,23 +204,23 @@ class RpcClient
         proto::FnId fn = 0;
         proto::PayloadBuf payload;
     };
-    std::unordered_map<proto::RpcId, Pending> _pending;
+    DAGGER_OWNED_BY(node) std::unordered_map<proto::RpcId, Pending> _pending;
 
     /** Ids of retried/timed-out calls, so a late (or duplicate)
      *  response counts as such instead of as an unknown orphan.
      *  Bounded; ordered so eviction is deterministic. */
-    std::set<proto::RpcId> _retriedDone;
+    DAGGER_OWNED_BY(node) std::set<proto::RpcId> _retriedDone;
     static constexpr std::size_t kRetriedDoneCap = 1024;
 
-    CompletionQueue _cq;
-    sim::Histogram _latency{"rpc_rtt"};
-    std::uint64_t _sent = 0;
-    std::uint64_t _responses = 0;
-    std::uint64_t _sendFailures = 0;
-    std::uint64_t _orphans = 0;
-    std::uint64_t _timeouts = 0;
-    std::uint64_t _retriesSent = 0;
-    std::uint64_t _lateResponses = 0;
+    DAGGER_OWNED_BY(node) CompletionQueue _cq;
+    DAGGER_OWNED_BY(node) sim::Histogram _latency{"rpc_rtt"};
+    DAGGER_OWNED_BY(node) std::uint64_t _sent = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _responses = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _sendFailures = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _orphans = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _timeouts = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _retriesSent = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _lateResponses = 0;
 };
 
 /**

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "proto/wire.hh"
+#include "sim/check.hh"
 
 namespace dagger::rpc {
 
@@ -59,9 +60,11 @@ class CompletionQueue
     std::uint64_t completed() const { return _completed; }
 
   private:
-    std::deque<proto::RpcMessage> _queue;
+    // Owned by the client's node: delivery and polling both run on the
+    // owning node's shard queue.
+    DAGGER_OWNED_BY(node) std::deque<proto::RpcMessage> _queue;
     Continuation _continuation;
-    std::uint64_t _completed = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _completed = 0;
 };
 
 } // namespace dagger::rpc

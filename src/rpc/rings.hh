@@ -132,13 +132,15 @@ class TxRing
 
   private:
     std::size_t _capacity;
-    std::size_t _used = 0;
-    std::deque<proto::Frame> _pending;
+    // Ring state is node-domain: producer (software) and consumer
+    // (NIC) both run on the owning node's shard queue.
+    DAGGER_OWNED_BY(node) std::size_t _used = 0;
+    DAGGER_OWNED_BY(node) std::deque<proto::Frame> _pending;
     std::function<void()> _notify;
     std::function<void()> _spaceNotify;
-    std::uint64_t _pushedFrames = 0;
-    std::uint64_t _poppedFrames = 0;
-    std::uint64_t _blocked = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _pushedFrames = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _poppedFrames = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _blocked = 0;
 };
 
 /**
@@ -211,11 +213,11 @@ class RxRing
 
   private:
     std::size_t _capacity;
-    std::deque<proto::Frame> _frames;
-    proto::Reassembler _reassembler;
+    DAGGER_OWNED_BY(node) std::deque<proto::Frame> _frames;
+    DAGGER_OWNED_BY(node) proto::Reassembler _reassembler;
     std::function<void()> _notify;
-    std::uint64_t _drops = 0;
-    std::uint64_t _deliveredFrames = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _drops = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _deliveredFrames = 0;
 };
 
 /** A flow's pair of rings (one per NIC flow, Fig. 7). */

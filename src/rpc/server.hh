@@ -28,6 +28,7 @@
 #include "proto/wire.hh"
 #include "rpc/cpu.hh"
 #include "rpc/system.hh"
+#include "sim/check.hh"
 #include "sim/stats.hh"
 
 namespace dagger::rpc {
@@ -88,8 +89,8 @@ class WorkerPool
     /** Work waiting out the handoff delay.  Parked here so each
      *  scheduled handoff event captures only `this`; the fixed delay
      *  makes event order == submit order == deque order (FIFO). */
-    std::deque<Handoff> _handoff;
-    std::uint64_t _submitted = 0;
+    DAGGER_OWNED_BY(node) std::deque<Handoff> _handoff;
+    DAGGER_OWNED_BY(node) std::uint64_t _submitted = 0;
 };
 
 /**
@@ -154,13 +155,13 @@ class RpcServerThread
     HwThread &_dispatch;
     WorkerPool *_pool = nullptr;
     std::unordered_map<proto::FnId, Handler> _handlers;
-    bool _rxScheduled = false;
-    bool _paused = false;
-    std::deque<proto::RpcMessage> _txBacklog;
-    std::uint64_t _processed = 0;
-    std::uint64_t _responsesSent = 0;
-    std::uint64_t _txBlocked = 0;
-    std::uint64_t _unhandled = 0;
+    DAGGER_OWNED_BY(node) bool _rxScheduled = false;
+    DAGGER_OWNED_BY(node) bool _paused = false;
+    DAGGER_OWNED_BY(node) std::deque<proto::RpcMessage> _txBacklog;
+    DAGGER_OWNED_BY(node) std::uint64_t _processed = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _responsesSent = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _txBlocked = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _unhandled = 0;
 };
 
 /**

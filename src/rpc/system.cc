@@ -182,6 +182,8 @@ DaggerSystem::addNode(nic::NicConfig cfg, nic::SoftConfig soft)
     }
     node->_nic = std::make_unique<nic::DaggerNic>(*node->_eq, cfg, soft,
                                                   port, sw);
+    if (_engine)
+        node->_nic->ownershipGuard().bind(_engine.get(), node->_shard);
 
     node->_rings.reserve(cfg.numFlows);
     for (unsigned f = 0; f < cfg.numFlows; ++f) {

@@ -5,6 +5,8 @@
 namespace dagger::sim::detail {
 
 namespace {
+// Written once at startup from DAGGER_VERBOSE, read-only afterwards.
+// dagger-lint: allow(shared-mutable-static-in-sim)
 bool gVerbose = false;
 } // namespace
 

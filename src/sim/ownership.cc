@@ -1,0 +1,58 @@
+#include "sim/ownership.hh"
+
+#ifdef DAGGER_OWNERSHIP_AUDIT
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace dagger::sim {
+
+namespace audit {
+
+namespace {
+thread_local ExecContext t_ctx;
+} // namespace
+
+const ExecContext &
+current()
+{
+    return t_ctx;
+}
+
+} // namespace audit
+
+void
+OwnershipGuard::check(const char *what) const
+{
+    const audit::ExecContext &ctx = audit::current();
+    // Unbound guards (single-queue systems), quiescent threads, and
+    // objects of a different engine instance (SweepRunner scenarios run
+    // one engine per thread) are all out of scope.
+    if (!_engine || !ctx.active() || ctx.engine != _engine)
+        return;
+    if (ctx.shard == _shard)
+        return;
+    dagger_panic("ownership audit: ", what, " owned by shard ", _shard,
+                 " touched from shard ", ctx.shard, " during the ",
+                 ctx.parallel ? "parallel" : "serial", " phase at tick ",
+                 ctx.queue ? ctx.queue->now() : 0,
+                 " (cross-domain access must go through postCross/"
+                 "postApply; see docs/ANALYSIS.md)");
+}
+
+ScopedExecContext::ScopedExecContext(const void *engine, unsigned shard,
+                                     bool parallel, const EventQueue *queue)
+    : _prev(audit::t_ctx)
+{
+    audit::t_ctx =
+        audit::ExecContext{engine, shard, parallel, queue};
+}
+
+ScopedExecContext::~ScopedExecContext()
+{
+    audit::t_ctx = _prev;
+}
+
+} // namespace dagger::sim
+
+#endif // DAGGER_OWNERSHIP_AUDIT

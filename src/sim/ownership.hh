@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Runtime twin of the DAGGER_OWNED_BY(domain) annotation (check.hh).
+ *
+ * The sharded engine (sharded_engine.hh) is correct only if every
+ * piece of domain-owned mutable state is touched exclusively from its
+ * owning shard while a round is executing.  tools/dagger_lint checks
+ * that statically; this header checks it dynamically in
+ * DAGGER_OWNERSHIP_AUDIT builds:
+ *
+ *  - The engine publishes a thread-local execution context (engine
+ *    identity, executing shard, phase, shard queue) around every
+ *    parallel window and the serial phase.
+ *
+ *  - An OwnershipGuard embedded in an owned object is bound once to
+ *    its owning shard (DaggerSystem::addNode / CciPort::bindHost /
+ *    TorSwitch::bindPort).  OwnershipGuard::check() then panics — with
+ *    owning shard, executing shard, phase, and simulation tick — when
+ *    the executing shard differs from the owner.  Event order is
+ *    deterministic, so a violating run fails at the same tick with the
+ *    same message on every same-seed run, unlike a TSan race report.
+ *
+ * Outside engine rounds (construction, wiring, metrics rendering,
+ * single-queue systems) no context is published and every check
+ * passes.  Without DAGGER_OWNERSHIP_AUDIT everything here compiles to
+ * empty inline no-ops.
+ */
+
+#ifndef DAGGER_SIM_OWNERSHIP_HH
+#define DAGGER_SIM_OWNERSHIP_HH
+
+namespace dagger::sim {
+
+class EventQueue;
+
+#ifdef DAGGER_OWNERSHIP_AUDIT
+
+namespace audit {
+
+/** What this thread is executing right now, published by the engine. */
+struct ExecContext
+{
+    const void *engine = nullptr; ///< identity tag; null = no round active
+    unsigned shard = 0;           ///< executing shard id
+    bool parallel = false;        ///< parallel window vs serial phase
+    const EventQueue *queue = nullptr; ///< executing shard's queue (tick)
+
+    bool active() const { return engine != nullptr; }
+};
+
+/** This thread's current context (inactive outside engine rounds). */
+const ExecContext &current();
+
+} // namespace audit
+
+/**
+ * Tags one owned object with its owning shard; check() panics on
+ * access from any other shard while a round is executing.
+ */
+class OwnershipGuard
+{
+  public:
+    /** Bind to the owning shard of @p engine; idempotent re-wiring. */
+    void
+    bind(const void *engine, unsigned shard)
+    {
+        _engine = engine;
+        _shard = shard;
+    }
+
+    bool bound() const { return _engine != nullptr; }
+    unsigned owner() const { return _shard; }
+
+    /**
+     * Assert the calling thread's executing shard owns this object.
+     * @p what names the state for the failure message.  No-op when
+     * unbound, outside rounds, or under a different engine.
+     */
+    void check(const char *what) const;
+
+  private:
+    const void *_engine = nullptr;
+    unsigned _shard = 0;
+};
+
+/**
+ * RAII context publication for the engine's round phases.  Saves and
+ * restores the previous context, so nesting (multiplexed windows on
+ * the coordinator) behaves.
+ */
+class ScopedExecContext
+{
+  public:
+    ScopedExecContext(const void *engine, unsigned shard, bool parallel,
+                      const EventQueue *queue);
+    ~ScopedExecContext();
+    ScopedExecContext(const ScopedExecContext &) = delete;
+    ScopedExecContext &operator=(const ScopedExecContext &) = delete;
+
+  private:
+    audit::ExecContext _prev;
+};
+
+#else // !DAGGER_OWNERSHIP_AUDIT
+
+class OwnershipGuard
+{
+  public:
+    void bind(const void *, unsigned) {}
+    bool bound() const { return false; }
+    unsigned owner() const { return 0; }
+    void check(const char *) const {}
+};
+
+class ScopedExecContext
+{
+  public:
+    ScopedExecContext(const void *, unsigned, bool, const EventQueue *) {}
+};
+
+#endif // DAGGER_OWNERSHIP_AUDIT
+
+} // namespace dagger::sim
+
+#endif // DAGGER_SIM_OWNERSHIP_HH

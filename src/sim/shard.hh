@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/mailbox.hh"
 #include "sim/time.hh"
@@ -136,12 +137,16 @@ class Shard
 
     EventQueue &_queue;
     unsigned _id;
-    std::vector<CrossEvent> _pending;
-    std::vector<CrossEvent> _admitBatch; ///< scratch, reused per round
-    std::uint64_t _intra = 0;
-    std::int64_t _prioOverride = -1; ///< <0 = none; see nextStamp()
-    Tick _postedMin = UINT64_MAX;
-    ShardStats _stats;
+    // Round bookkeeping is owned by the engine's round protocol: one
+    // thread per shard per round, never two (see file comment).
+    DAGGER_OWNED_BY(engine) std::vector<CrossEvent> _pending;
+    /// scratch, reused per round
+    DAGGER_OWNED_BY(engine) std::vector<CrossEvent> _admitBatch;
+    DAGGER_OWNED_BY(engine) std::uint64_t _intra = 0;
+    /// <0 = none; see nextStamp()
+    DAGGER_OWNED_BY(engine) std::int64_t _prioOverride = -1;
+    DAGGER_OWNED_BY(engine) Tick _postedMin = UINT64_MAX;
+    DAGGER_OWNED_BY(engine) ShardStats _stats;
 };
 
 } // namespace dagger::sim

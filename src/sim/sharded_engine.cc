@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "sim/check.hh"
+#include "sim/ownership.hh"
 
 namespace dagger::sim {
 
@@ -97,6 +98,10 @@ void
 ShardedEngine::runShardWindow(unsigned s)
 {
     Shard &sh = *_shard[s];
+    // Publish "shard s is executing its parallel window on this
+    // thread" for the ownership audit (no-op unless built with
+    // DAGGER_OWNERSHIP_AUDIT).
+    ScopedExecContext auditCtx(this, s, /*parallel=*/true, &sh.queue());
     const std::uint64_t t0 = _clock ? _clock() : 0;
     for (unsigned from = 0; from < _nshards; ++from) {
         if (from == s)
@@ -116,6 +121,7 @@ void
 ShardedEngine::serialPhase()
 {
     Shard &sh0 = *_shard[0];
+    ScopedExecContext auditCtx(this, 0, /*parallel=*/false, &_q0);
     const std::uint64_t t0 = _clock ? _clock() : 0;
 
     for (unsigned from = 1; from < _nshards; ++from) {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "sim/barrier.hh"
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/mailbox.hh"
 #include "sim/shard.hh"
@@ -169,7 +170,8 @@ class ShardedEngine
     std::vector<std::unique_ptr<Shard>> _shard;
     std::vector<std::unique_ptr<SpscMailbox<CrossEvent>>> _cross;
     std::vector<std::unique_ptr<SpscMailbox<CrossEvent>>> _apply;
-    std::vector<CrossEvent> _applyBatch; ///< serial-phase scratch
+    /// serial-phase scratch; only the coordinator touches it
+    DAGGER_OWNED_BY(engine) std::vector<CrossEvent> _applyBatch;
 
     // Round window, published to workers through the start barrier.
     Tick _roundStart = 0;
@@ -180,9 +182,9 @@ class ShardedEngine
     std::unique_ptr<RoundBarrier> _startGate;
     std::unique_ptr<RoundBarrier> _doneGate;
 
-    std::uint64_t _rounds = 0;
-    std::uint64_t _skips = 0;
-    std::uint64_t _appliesRun = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _rounds = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _skips = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _appliesRun = 0;
 
     ClockFn _clock = nullptr;
     std::vector<BusySlot> _busy;

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Runtime shard-ownership audit (sim/ownership.hh): in
+ * DAGGER_OWNERSHIP_AUDIT builds a guard bound to one shard must panic
+ * deterministically — naming the owning shard, the executing shard,
+ * the phase, and the tick — when its object is touched from another
+ * shard during a round, and must stay silent for owning-shard and
+ * out-of-round accesses.  In normal builds everything is a no-op.
+ *
+ * The engine is constructed inside each death clause with
+ * DAGGER_SHARD_THREADS=0 so the coordinator multiplexes every shard:
+ * no worker threads exist in the forked death-test child, and the
+ * violating event always fires at the same tick with the same message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/event_queue.hh"
+#include "sim/ownership.hh"
+#include "sim/sharded_engine.hh"
+
+namespace {
+
+using dagger::sim::EventQueue;
+using dagger::sim::OwnershipGuard;
+using dagger::sim::ShardedEngine;
+
+#ifdef DAGGER_OWNERSHIP_AUDIT
+
+TEST(OwnershipGuardDeathTest, CrossShardTouchPanicsWithShardAndTick)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ::setenv("DAGGER_SHARD_THREADS", "0", 1);
+            EventQueue q0;
+            ShardedEngine eng(q0, 3, 1'000);
+            OwnershipGuard guard;
+            guard.bind(&eng, 1); // owned by shard 1...
+            eng.queue(2).scheduleAt(500, [&] {
+                guard.check("RpcClient::_pending"); // ...touched from 2
+            });
+            eng.runUntil(2'000);
+        },
+        "ownership audit: RpcClient::_pending owned by shard 1 touched "
+        "from shard 2 during the parallel phase at tick 500");
+}
+
+TEST(OwnershipGuardDeathTest, SerialPhaseTouchNamesTheSerialPhase)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ::setenv("DAGGER_SHARD_THREADS", "0", 1);
+            EventQueue q0;
+            ShardedEngine eng(q0, 3, 1'000);
+            OwnershipGuard guard;
+            guard.bind(&eng, 2); // parallel-shard state...
+            q0.scheduleAt(700, [&] {
+                guard.check("SwitchPort::_egress"); // ...touched on shard 0
+            });
+            eng.runUntil(2'000);
+        },
+        "owned by shard 2 touched from shard 0 during the serial phase "
+        "at tick 700");
+}
+
+TEST(OwnershipGuardAudit, OwningShardAndOutOfRoundAccessesPass)
+{
+    ::setenv("DAGGER_SHARD_THREADS", "0", 1);
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, 1'000);
+    OwnershipGuard guard;
+    guard.bind(&eng, 1);
+    EXPECT_TRUE(guard.bound());
+    EXPECT_EQ(guard.owner(), 1u);
+    // No round is executing: wiring-phase access from the test thread.
+    guard.check("wiring phase");
+    bool ran = false;
+    eng.queue(1).scheduleAt(500, [&] {
+        guard.check("owning shard");
+        ran = true;
+    });
+    eng.runUntil(2'000);
+    EXPECT_TRUE(ran);
+}
+
+TEST(OwnershipGuardAudit, ForeignEngineContextIsOutOfScope)
+{
+    // SweepRunner scenarios run one engine per host thread; a guard
+    // bound to engine A must not trip while engine B executes.
+    ::setenv("DAGGER_SHARD_THREADS", "0", 1);
+    EventQueue qa;
+    ShardedEngine engA(qa, 2, 1'000);
+    OwnershipGuard guard;
+    guard.bind(&engA, 1);
+
+    EventQueue qb;
+    ShardedEngine engB(qb, 3, 1'000);
+    bool ran = false;
+    engB.queue(2).scheduleAt(500, [&] {
+        guard.check("other engine's round");
+        ran = true;
+    });
+    engB.runUntil(2'000);
+    EXPECT_TRUE(ran);
+}
+
+#else // !DAGGER_OWNERSHIP_AUDIT
+
+TEST(OwnershipGuardNoop, AllOperationsAreInertInNormalBuilds)
+{
+    ::setenv("DAGGER_SHARD_THREADS", "0", 1);
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, 1'000);
+    OwnershipGuard guard;
+    guard.bind(&eng, 1);
+    EXPECT_FALSE(guard.bound()); // the stub keeps no state
+    EXPECT_EQ(guard.owner(), 0u);
+    bool ran = false;
+    eng.queue(2).scheduleAt(500, [&] {
+        guard.check("cross-shard touch"); // must not abort
+        ran = true;
+    });
+    eng.runUntil(2'000);
+    EXPECT_TRUE(ran);
+}
+
+#endif // DAGGER_OWNERSHIP_AUDIT
+
+} // namespace

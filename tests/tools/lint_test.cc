@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -102,14 +103,16 @@ class LintTest : public ::testing::Test
     fs::path _src;
 };
 
-TEST_F(LintTest, ListRulesNamesAllSeven)
+TEST_F(LintTest, ListRulesNamesAllTen)
 {
     const RunResult r = run(lint("--list-rules"));
     EXPECT_EQ(r.exit_code, 0);
     for (const char *rule :
          {"no-wallclock", "seeded-rng-only", "no-unordered-iteration-order",
           "no-raw-new-in-sim", "event-handler-noexcept",
-          "no-cross-shard-schedule", "no-payload-memcpy"})
+          "no-cross-shard-schedule", "no-payload-memcpy",
+          "owned-state-cross-domain-access", "mailbox-bypass-write",
+          "shared-mutable-static-in-sim"})
         EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
 }
 
@@ -117,17 +120,22 @@ TEST_F(LintTest, FixtureTreeProducesExactRuleHits)
 {
     const RunResult r = run(lint("--json " + _root.string()));
     EXPECT_EQ(r.exit_code, 1); // findings present
-    // 3 from wallclock.cc + 1 from bench_wallclock.cc.
-    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 4u);
+    // 3 from wallclock.cc + 1 from bench_wallclock.cc + 2 from
+    // suppress_edges.cc.
+    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 6u);
     EXPECT_EQ(ruleHits(r.out, "seeded-rng-only"), 2u);
     EXPECT_EQ(ruleHits(r.out, "no-unordered-iteration-order"), 1u);
     EXPECT_EQ(ruleHits(r.out, "no-raw-new-in-sim"), 1u);
     EXPECT_EQ(ruleHits(r.out, "event-handler-noexcept"), 1u);
     EXPECT_EQ(ruleHits(r.out, "no-cross-shard-schedule"), 3u);
     EXPECT_EQ(ruleHits(r.out, "no-payload-memcpy"), 2u);
-    // 3 from suppressed.cc + 1 from bench_wallclock.cc + 1 from
-    // cross_shard.cc + 1 from payload_memcpy.cc.
-    EXPECT_NE(r.out.find("\"suppressed\": 6"), std::string::npos) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "owned-state-cross-domain-access"), 2u);
+    EXPECT_EQ(ruleHits(r.out, "mailbox-bypass-write"), 3u);
+    EXPECT_EQ(ruleHits(r.out, "shared-mutable-static-in-sim"), 2u);
+    // 3 from suppressed.cc + 1 each from bench_wallclock.cc,
+    // cross_shard.cc, payload_memcpy.cc, owned_cross_domain.cc,
+    // mailbox_bypass.cc, shared_static.cc + 3 from suppress_edges.cc.
+    EXPECT_NE(r.out.find("\"suppressed\": 12"), std::string::npos) << r.out;
     EXPECT_NE(r.out.find("\"ok\": false"), std::string::npos);
 }
 
@@ -243,9 +251,138 @@ TEST_F(LintTest, RuleFilterRestrictsFindings)
     const RunResult r =
         run(lint("--json --rule no-wallclock " + _root.string()));
     EXPECT_EQ(r.exit_code, 1);
-    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 4u);
+    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 6u);
     EXPECT_EQ(ruleHits(r.out, "seeded-rng-only"), 0u);
     EXPECT_EQ(ruleHits(r.out, "no-raw-new-in-sim"), 0u);
+}
+
+TEST_F(LintTest, OwnedCrossDomainAccessExactHits)
+{
+    const RunResult r =
+        run(lint("--json --rule owned-state-cross-domain-access " +
+                 (_src / "owned_cross_domain.cc").string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "owned-state-cross-domain-access"), 2u)
+        << r.out;
+    // The inline method (26) and the out-of-line Cls::method body (47)
+    // both classify as fabric context reading node state.
+    EXPECT_NE(r.out.find("\"line\": 26"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 47"), std::string::npos) << r.out;
+    // The postCross hand-off lambda (39) and the unclassified free
+    // function (53) stay clean; the audited read suppresses.
+    EXPECT_EQ(r.out.find("\"line\": 39"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("\"line\": 53"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+    // Findings name the owning domain and the violating context.
+    EXPECT_NE(r.out.find("DAGGER_OWNED_BY(node)"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'fabric'-context"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, MailboxBypassWriteExactHits)
+{
+    const RunResult r = run(lint("--json --rule mailbox-bypass-write " +
+                                 (_src / "mailbox_bypass.cc").string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "mailbox-bypass-write"), 3u) << r.out;
+    // Prefix increment (28), assignment (34), and the node-state write
+    // inside a postApply lambda (56) all count as bypasses.
+    EXPECT_NE(r.out.find("\"line\": 28"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 34"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 56"), std::string::npos) << r.out;
+    // The fabric-state write inside postApply (48) is the sanctioned
+    // serial-phase pattern; the audited compound write suppresses.
+    EXPECT_EQ(r.out.find("\"line\": 48"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, SharedMutableStaticExactHits)
+{
+    const RunResult r =
+        run(lint("--json --rule shared-mutable-static-in-sim " +
+                 (_src / "shared_static.cc").string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "shared-mutable-static-in-sim"), 2u) << r.out;
+    // The namespace-scope mutable (9) and the function-local static
+    // (18); const/constexpr/thread_local declarations stay clean and
+    // the audited cell suppresses.
+    EXPECT_NE(r.out.find("\"line\": 9"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 18"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("kLimit"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("kWindow"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("t_localHits"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"suppressed\": 1"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, OwnershipIndexSpansFiles)
+{
+    // The tentpole property: pass 1 builds one whole-program index, so
+    // an annotation in one file classifies accesses in another.
+    {
+        std::ofstream decl(_src / "ax_decl.cc");
+        decl << "#define DAGGER_OWNED_BY(domain)\n"
+                "struct AxPort\n"
+                "{\n"
+                "    DAGGER_OWNED_BY(node) unsigned long _axWords = 0;\n"
+                "};\n"
+                "struct AxFabric\n"
+                "{\n"
+                "    DAGGER_OWNED_BY(fabric) unsigned _axCursor = 0;\n"
+                "};\n";
+    }
+    {
+        std::ofstream use(_src / "ax_use.cc");
+        use << "struct AxPort;\n"
+               "unsigned long\n"
+               "AxFabric::probe(const AxPort &p)\n"
+               "{\n"
+               "    return p._axWords;\n"
+               "}\n";
+    }
+    const RunResult r =
+        run(lint("--json --rule owned-state-cross-domain-access " +
+                 (_src / "ax_decl.cc").string() + " " +
+                 (_src / "ax_use.cc").string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out;
+    EXPECT_EQ(ruleHits(r.out, "owned-state-cross-domain-access"), 1u)
+        << r.out;
+    EXPECT_NE(r.out.find("ax_use.cc\", \"line\": 5"), std::string::npos)
+        << r.out;
+}
+
+TEST_F(LintTest, SuppressionEdgeCasesBlockCommentsAndCrlf)
+{
+    const RunResult r =
+        run(lint("--json " + (_src / "suppress_edges.cc").string()));
+    EXPECT_EQ(r.exit_code, 1) << r.out;
+    // Honored: trailing single-line /* */ block, comment-only
+    // single-line block covering the next line, and the same form on
+    // CRLF-terminated lines.
+    EXPECT_NE(r.out.find("\"suppressed\": 3"), std::string::npos) << r.out;
+    // Inert: a tag inside a multi-line block-comment interior and a
+    // tag inside a string literal — those two time() reads stand.
+    EXPECT_EQ(ruleHits(r.out, "no-wallclock"), 2u) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 24"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"line\": 30"), std::string::npos) << r.out;
+}
+
+TEST_F(LintTest, JobsOutputIsByteIdenticalAndOrdered)
+{
+    // --jobs N parallelizes the scan but merges per-file results in
+    // input order: byte-identical output at any thread count.
+    const RunResult serial = run(lint("--json " + _root.string()));
+    const RunResult par = run(lint("--json --jobs 4 " + _root.string()));
+    EXPECT_EQ(serial.exit_code, par.exit_code);
+    EXPECT_EQ(serial.out, par.out);
+    const RunResult text = run(lint(_root.string()));
+    const RunResult textPar = run(lint("--jobs 8 " + _root.string()));
+    EXPECT_EQ(text.out, textPar.out);
+}
+
+TEST_F(LintTest, BadJobsValueIsUsageError)
+{
+    const RunResult r = run(lint("--jobs nope " + _root.string()));
+    EXPECT_EQ(r.exit_code, 2);
 }
 
 TEST_F(LintTest, UnknownRuleIsUsageError)
