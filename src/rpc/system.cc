@@ -88,9 +88,45 @@ DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
                      sim::MetricText::Hide);
         eng.intGauge("rounds", [this] { return _engine->rounds(); },
                      sim::MetricText::Hide);
-        eng.intGauge("skips", [this] { return _engine->skips(); },
+        eng.intGauge("solo_runs", [this] { return _engine->soloRuns(); },
+                     sim::MetricText::Hide);
+        eng.intGauge("solo_chunks",
+                     [this] { return _engine->soloChunks(); },
+                     sim::MetricText::Hide);
+        eng.intGauge("windows_extended",
+                     [this] { return _engine->windowsExtended(); },
+                     sim::MetricText::Hide);
+        eng.intGauge("windows_static",
+                     [this] { return _engine->windowsStatic(); },
+                     sim::MetricText::Hide);
+        eng.gauge("window_ticks_mean",
+                  [this] {
+                      const double n =
+                          static_cast<double>(_engine->rounds());
+                      return n == 0 ? 0.0
+                                    : static_cast<double>(
+                                          _engine->windowTicksSum()) /
+                                          n;
+                  },
+                  sim::MetricText::Hide);
+        eng.intGauge("window_ticks_max",
+                     [this] { return _engine->windowTicksMax(); },
+                     sim::MetricText::Hide);
+        eng.intGauge("serial_elided",
+                     [this] { return _engine->serialElided(); },
+                     sim::MetricText::Hide);
+        eng.intGauge("batch_flushes",
+                     [this] { return _engine->batchFlushes(); },
                      sim::MetricText::Hide);
         eng.intGauge("applies", [this] { return _engine->appliesRun(); },
+                     sim::MetricText::Hide);
+        // Host-timing dependent (how barrier arrivals resolved); never
+        // part of any byte-compared surface.
+        eng.intGauge("barrier_spins",
+                     [this] { return _engine->barrierSpins(); },
+                     sim::MetricText::Hide);
+        eng.intGauge("barrier_parks",
+                     [this] { return _engine->barrierParks(); },
                      sim::MetricText::Hide);
         for (unsigned s = 0; s < _engine->shards(); ++s) {
             sim::MetricScope sh =

@@ -1,6 +1,6 @@
 #include "sim/barrier.hh"
 
-#include "sim/check.hh"
+#include "sim/logging.hh"
 
 namespace dagger::sim {
 
@@ -12,16 +12,30 @@ RoundBarrier::RoundBarrier(unsigned parties) : _parties(parties)
 void
 RoundBarrier::arriveAndWait()
 {
-    std::unique_lock<std::mutex> lock(_mutex);
-    const std::uint64_t gen = _generation;
-    if (++_waiting == _parties) {
-        _waiting = 0;
-        ++_generation;
-        lock.unlock();
+    const std::uint64_t phase = _phase.load(std::memory_order_acquire);
+    if (_waiting.fetch_add(1, std::memory_order_acq_rel) + 1 == _parties) {
+        // Last arrival: reset the count and flip the phase.  The flip
+        // happens under the mutex so a parker that re-checks the
+        // predicate before sleeping can never miss the notify.
+        _waiting.store(0, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _phase.store(phase + 1, std::memory_order_release);
+        }
         _cv.notify_all();
         return;
     }
-    _cv.wait(lock, [this, gen] { return _generation != gen; });
+    for (unsigned i = 0; i < kSpinIters; ++i) {
+        if (_phase.load(std::memory_order_acquire) != phase) {
+            _spins.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+    _parks.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(_mutex);
+    _cv.wait(lock, [&] {
+        return _phase.load(std::memory_order_acquire) != phase;
+    });
 }
 
 } // namespace dagger::sim

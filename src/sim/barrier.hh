@@ -2,18 +2,29 @@
  * @file
  * Round barrier for the sharded engine's worker pool.
  *
- * A classic generation-counting barrier: @p parties threads call
- * arriveAndWait(); the last arrival bumps the generation and wakes the
- * rest.  The sharded engine uses two of these per round — a start gate
+ * A sense-reversing spin-then-park barrier: @p parties threads call
+ * arriveAndWait(); the last arrival flips the phase word and wakes any
+ * parked waiters.  Earlier arrivals spin on the phase for a bounded
+ * number of iterations — rounds are short, so the flip usually lands
+ * while they spin — and fall back to a mutex/condvar park only when it
+ * does not.  The phase store/loads are release/acquire, so the barrier
+ * provides the same happens-before edges the mailbox hand-offs relied
+ * on with the old mutex/condvar implementation.
+ *
+ * The sharded engine uses two of these per round — a start gate
  * (coordinator publishes the window, workers pick it up) and a done
  * gate (workers publish their window's results, coordinator runs the
- * serial merge phase) — so the mutex/condvar pair also provides the
- * happens-before edges the mailbox hand-offs rely on.
+ * serial merge phase).
+ *
+ * spins()/parks() count how arrivals resolved; they depend on host
+ * scheduling, never on the simulation, and are exported as host-side
+ * observability only (like wall-clock accounting).
  */
 
 #ifndef DAGGER_SIM_BARRIER_HH
 #define DAGGER_SIM_BARRIER_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -23,6 +34,9 @@ namespace dagger::sim {
 class RoundBarrier
 {
   public:
+    /** Spin iterations before an arrival parks on the condvar. */
+    static constexpr unsigned kSpinIters = 4096;
+
     explicit RoundBarrier(unsigned parties);
 
     /** Block until all parties of the current generation arrived. */
@@ -30,12 +44,28 @@ class RoundBarrier
 
     unsigned parties() const { return _parties; }
 
+    /** Arrivals that observed the phase flip while spinning. */
+    std::uint64_t spins() const
+    {
+        return _spins.load(std::memory_order_relaxed);
+    }
+    /** Arrivals that gave up spinning and parked on the condvar. */
+    std::uint64_t parks() const
+    {
+        return _parks.load(std::memory_order_relaxed);
+    }
+
   private:
+    unsigned _parties;
+    std::atomic<unsigned> _waiting{0};
+    std::atomic<std::uint64_t> _phase{0};
+    std::atomic<std::uint64_t> _spins{0};
+    std::atomic<std::uint64_t> _parks{0};
+    // Park fallback.  The phase flip happens under _mutex so a waiter
+    // that re-checks the predicate under the lock can never miss the
+    // notify (classic condvar protocol); spinners never touch it.
     std::mutex _mutex;
     std::condition_variable _cv;
-    unsigned _parties;
-    unsigned _waiting = 0;
-    std::uint64_t _generation = 0;
 };
 
 } // namespace dagger::sim

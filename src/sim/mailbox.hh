@@ -19,6 +19,7 @@
 #ifndef DAGGER_SIM_MAILBOX_HH
 #define DAGGER_SIM_MAILBOX_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -111,6 +112,7 @@ class SpscMailbox
             if (!_overflow.empty() || ringFull) {
                 _overflow.push_back(std::move(item));
                 _producerOverflowing = true;
+                _overflowLive.store(true, std::memory_order_release);
                 ++_overflowed;
                 return;
             }
@@ -124,6 +126,48 @@ class SpscMailbox
             _highWater = depth;
     }
 
+    /**
+     * Producer side: enqueue a whole window's batch with one release
+     * store on the tail index (the sharded engine stages cross events
+     * locally and publishes once per pair per round).  @p items is
+     * drained and left empty for reuse.
+     */
+    void
+    pushBatch(std::vector<T> &items)
+    {
+        if (items.empty())
+            return;
+        const std::size_t tail = _tail.load(std::memory_order_relaxed);
+        const std::size_t head = _head.load(std::memory_order_acquire);
+        std::size_t n = 0;
+        if (_producerOverflowing) {
+            std::lock_guard<std::mutex> lock(_overflowMutex);
+            if (_overflow.empty())
+                _producerOverflowing = false; // consumer caught up
+        }
+        if (!_producerOverflowing) {
+            const std::size_t space = kRingCapacity - (tail - head);
+            n = std::min(space, items.size());
+            for (std::size_t i = 0; i < n; ++i)
+                _ring[(tail + i) & (kRingCapacity - 1)] =
+                    std::move(items[i]);
+            _tail.store(tail + n, std::memory_order_release);
+            const std::uint64_t depth =
+                static_cast<std::uint64_t>(tail - head) + n;
+            if (depth > _highWater)
+                _highWater = depth;
+        }
+        if (n < items.size()) {
+            std::lock_guard<std::mutex> lock(_overflowMutex);
+            for (std::size_t i = n; i < items.size(); ++i)
+                _overflow.push_back(std::move(items[i]));
+            _producerOverflowing = true;
+            _overflowLive.store(true, std::memory_order_release);
+            _overflowed += items.size() - n;
+        }
+        items.clear();
+    }
+
     /** Consumer side: pop everything currently visible, in FIFO order. */
     template <typename Consume>
     void
@@ -131,13 +175,20 @@ class SpscMailbox
     {
         const std::size_t head = _head.load(std::memory_order_relaxed);
         const std::size_t tail = _tail.load(std::memory_order_acquire);
-        for (std::size_t i = head; i != tail; ++i)
-            consume(std::move(_ring[i & (kRingCapacity - 1)]));
-        _head.store(tail, std::memory_order_release);
-        std::lock_guard<std::mutex> lock(_overflowMutex);
-        while (!_overflow.empty()) {
-            consume(std::move(_overflow.front()));
-            _overflow.pop_front();
+        if (head != tail) {
+            for (std::size_t i = head; i != tail; ++i)
+                consume(std::move(_ring[i & (kRingCapacity - 1)]));
+            _head.store(tail, std::memory_order_release);
+        }
+        // The overflow mutex is only worth taking when the producer
+        // has actually spilled — the flag makes idle drains lock-free.
+        if (_overflowLive.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(_overflowMutex);
+            while (!_overflow.empty()) {
+                consume(std::move(_overflow.front()));
+                _overflow.pop_front();
+            }
+            _overflowLive.store(false, std::memory_order_relaxed);
         }
     }
 
@@ -153,6 +204,8 @@ class SpscMailbox
     std::atomic<std::size_t> _tail{0};
     /** Producer-owned: true while FIFO order routes via _overflow. */
     bool _producerOverflowing = false;
+    /** Set when _overflow may be non-empty; lets drain() skip the lock. */
+    std::atomic<bool> _overflowLive{false};
     std::uint64_t _highWater = 0;  ///< producer-owned
     std::uint64_t _overflowed = 0; ///< producer-owned (guarded writes)
     std::mutex _overflowMutex;

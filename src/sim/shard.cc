@@ -6,27 +6,50 @@
 
 namespace dagger::sim {
 
-void
-Shard::admit(Tick end)
+namespace {
+
+/// Min-heap on target tick: std::*_heap build max-heaps, so invert.
+inline bool
+whenAfter(const CrossEvent &a, const CrossEvent &b)
 {
-    if (_pending.empty())
+    return a.when > b.when;
+}
+
+} // namespace
+
+void
+Shard::pushPending(CrossEvent &&ev)
+{
+    _pending.push_back(std::move(ev));
+    std::push_heap(_pending.begin(), _pending.end(), whenAfter);
+}
+
+void
+Shard::admit([[maybe_unused]] Tick start, Tick end)
+{
+    if (_pending.empty() || _pending.front().when >= end)
         return;
     _admitBatch.clear();
-    std::size_t keep = 0;
-    for (auto &ev : _pending) {
-        if (ev.when < end)
-            _admitBatch.push_back(std::move(ev));
-        else
-            _pending[keep++] = std::move(ev);
+    // Pop only the due prefix of the heap; events beyond the window
+    // stay put and are never rescanned (the old flat-vector pending
+    // list recompacted every deferred event every round, which
+    // dominated the sharded engine's overhead on spill-heavy loads).
+    do {
+        std::pop_heap(_pending.begin(), _pending.end(), whenAfter);
+        _admitBatch.push_back(std::move(_pending.back()));
+        _pending.pop_back();
+    } while (!_pending.empty() && _pending.front().when < end);
+    auto inStampOrder = [](const CrossEvent &a, const CrossEvent &b) {
+        return stampBefore(a.stamp, b.stamp);
+    };
+    // Single-sender batches usually pop already stamp-sorted.
+    if (!std::is_sorted(_admitBatch.begin(), _admitBatch.end(),
+                        inStampOrder)) {
+        std::sort(_admitBatch.begin(), _admitBatch.end(), inStampOrder);
     }
-    _pending.resize(keep);
-    if (_admitBatch.empty())
-        return;
-    std::sort(_admitBatch.begin(), _admitBatch.end(),
-              [](const CrossEvent &a, const CrossEvent &b) {
-                  return stampBefore(a.stamp, b.stamp);
-              });
     for (auto &ev : _admitBatch) {
+        DAGGER_DCHECK(ev.when >= start,
+                      "cross event admitted below its window start");
         dagger_assert(ev.when >= _queue.now(),
                       "cross event admitted into this shard's past");
         _queue.scheduleAt(ev.when, std::move(ev.fn), ev.prio);
@@ -38,17 +61,33 @@ void
 Shard::spill(Tick when, EventFn &&fn, Priority prio)
 {
     ++_stats.spills;
-    _pending.push_back(CrossEvent{when, prio, nextStamp(), std::move(fn)});
+    pushPending(CrossEvent{when, prio, nextStamp(), std::move(fn)});
 }
 
-Tick
-Shard::pendingMin() const
+std::size_t
+Shard::flushCrossInto(unsigned to, SpscMailbox<CrossEvent> &box)
 {
-    Tick min = UINT64_MAX;
-    for (const auto &ev : _pending)
-        if (ev.when < min)
-            min = ev.when;
-    return min;
+    auto &stage = _stageCross[to];
+    const std::size_t n = stage.size();
+    if (n == 0)
+        return 0;
+    box.pushBatch(stage);
+    ++_stats.batchFlushes;
+    _stats.flushedCross += n;
+    if (to == 0)
+        _stats.flushedTo0 += n;
+    return n;
+}
+
+std::size_t
+Shard::flushAppliesInto(SpscMailbox<CrossEvent> &box)
+{
+    const std::size_t n = _stageApply.size();
+    if (n == 0)
+        return 0;
+    box.pushBatch(_stageApply);
+    ++_stats.batchFlushes;
+    return n;
 }
 
 } // namespace dagger::sim

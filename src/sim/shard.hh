@@ -4,11 +4,13 @@
  *
  * A Shard pairs one EventQueue (one simulation domain: a NIC/host pair,
  * or the fabric/ToR domain) with the bookkeeping the conservative-
- * lookahead round protocol needs around it: the pending list of
+ * lookahead round protocol needs around it: the pending heap of
  * cross-domain events awaiting admission, the spill hook that diverts
- * beyond-window admissions back into that list, and the stamp counter
- * that lets a barrier batch be admitted in the sequential engine's
- * insertion order (mailbox.hh).
+ * beyond-window admissions back into that heap, the per-destination
+ * staging buffers that batch outbound hand-offs into one mailbox
+ * publication per (sender, receiver) pair per round, and the stamp
+ * counter that lets a barrier batch be admitted in the sequential
+ * engine's insertion order (mailbox.hh).
  *
  * A Shard is single-threaded by contract: exactly one thread (its
  * owning worker, or the coordinator) touches it during a round, and
@@ -40,12 +42,23 @@ struct ShardStats
     std::uint64_t appliesSent = 0; ///< synchronous applies sent to shard 0
     std::uint64_t spills = 0;      ///< local admissions deferred past a window
     std::uint64_t windowsRun = 0;  ///< windows this shard executed
+    std::uint64_t batchFlushes = 0; ///< non-empty staging publications
+    std::uint64_t flushedCross = 0; ///< cross events published to mailboxes
+    std::uint64_t flushedTo0 = 0;   ///< subset of flushedCross destined shard 0
 };
 
 class Shard
 {
   public:
-    Shard(EventQueue &queue, unsigned id) : _queue(queue), _id(id) {}
+    /**
+     * @param queue this shard's domain queue.
+     * @param id this shard's index.
+     * @param fanout total shard count (sizes the staging buffers).
+     */
+    Shard(EventQueue &queue, unsigned id, unsigned fanout)
+        : _queue(queue), _id(id), _stageCross(fanout)
+    {
+    }
     Shard(const Shard &) = delete;
     Shard &operator=(const Shard &) = delete;
 
@@ -77,29 +90,58 @@ class Shard
     }
     void clearPrioOverride() { _prioOverride = -1; }
 
-    /** Record a cross-post's target tick for conservative skip-ahead. */
+    /**
+     * Stage one outbound cross event for @p to.  Publication to the
+     * SPSC mailbox happens once per destination at window close
+     * (flushCrossInto), so a window costs one release store per pair
+     * instead of one per event.  Also records the target tick: staged
+     * and in-flight events must stay visible to the coordinator's
+     * next-tick lower bound until the receiver's pending heap covers
+     * them.
+     */
     void
-    notePosted(Tick when)
+    stageCross(unsigned to, CrossEvent &&ev)
     {
-        if (when < _postedMin)
-            _postedMin = when;
+        if (ev.when < _postedMin)
+            _postedMin = ev.when;
         ++_stats.crossSent;
+        _stageCross[to].push_back(std::move(ev));
+        _hasStaged = true;
     }
 
-    void noteApplySent() { ++_stats.appliesSent; }
+    /** Stage one synchronous apply for the next serial phase. */
+    void
+    stageApply(CrossEvent &&ev)
+    {
+        ++_stats.appliesSent;
+        _stageApply.push_back(std::move(ev));
+        _hasStaged = true;
+    }
 
-    /** Inbox drain target: move one received event onto the pending list. */
+    /** True if any cross or apply is staged but not yet published. */
+    bool hasStaged() const { return _hasStaged; }
+
+    /** Publish the staging buffer for @p to; returns items published. */
+    std::size_t flushCrossInto(unsigned to, SpscMailbox<CrossEvent> &box);
+
+    /** Publish staged applies; returns items published. */
+    std::size_t flushAppliesInto(SpscMailbox<CrossEvent> &box);
+
+    /** Mark staging fully published (engine calls after both flushes). */
+    void clearStagedFlag() { _hasStaged = false; }
+
+    /** Inbox drain target: push one received event onto the pending heap. */
     void
     takeCross(CrossEvent &&ev)
     {
         ++_stats.crossRecvd;
-        _pending.push_back(std::move(ev));
+        pushPending(std::move(ev));
     }
 
     /**
      * Start a window ending (exclusively) at @p end: reset the posted
      * minimum and divert admissions at/after @p end to the pending
-     * list, stamped with their scheduling context.
+     * heap, stamped with their scheduling context.
      */
     void
     beginWindow(Tick end)
@@ -113,15 +155,27 @@ class Shard
      * Admit every pending event with when < @p end into the queue, in
      * stamp order — which makes the queue's insertion-sequence order
      * for the batch match the sequential engine's (mailbox.hh).
+     * @p start is the window start; the round protocol guarantees no
+     * pending event targets below it (checked).
      */
-    void admit(Tick end);
+    void admit(Tick start, Tick end);
 
     void endWindow() { _queue.clearSpillHorizon(); }
 
-    /** Earliest pending (unadmitted) tick; UINT64_MAX when none. */
-    Tick pendingMin() const;
+    /** Reset the posted minimum without window bookkeeping (solo runs). */
+    void resetPostedMin() { _postedMin = UINT64_MAX; }
 
-    /** Earliest tick this shard cross-posted in the current round. */
+    /** Count a window execution without spill-horizon setup (solo runs). */
+    void noteWindowRun() { ++_stats.windowsRun; }
+
+    /** Earliest pending (unadmitted) tick; UINT64_MAX when none. */
+    Tick
+    pendingMin() const
+    {
+        return _pending.empty() ? UINT64_MAX : _pending.front().when;
+    }
+
+    /** Earliest tick this shard cross-posted since the last reset. */
     Tick postedMin() const { return _postedMin; }
 
     const ShardStats &stats() const { return _stats; }
@@ -134,14 +188,21 @@ class Shard
     }
 
     void spill(Tick when, EventFn &&fn, Priority prio);
+    void pushPending(CrossEvent &&ev);
 
     EventQueue &_queue;
     unsigned _id;
     // Round bookkeeping is owned by the engine's round protocol: one
     // thread per shard per round, never two (see file comment).
+    /// min-heap on `when` (heap order maintained via std::push_heap)
     DAGGER_OWNED_BY(engine) std::vector<CrossEvent> _pending;
     /// scratch, reused per round
     DAGGER_OWNED_BY(engine) std::vector<CrossEvent> _admitBatch;
+    /// outbound staging, one buffer per destination shard
+    DAGGER_OWNED_BY(engine) std::vector<std::vector<CrossEvent>> _stageCross;
+    /// outbound staging for serial-phase applies
+    DAGGER_OWNED_BY(engine) std::vector<CrossEvent> _stageApply;
+    DAGGER_OWNED_BY(engine) bool _hasStaged = false;
     DAGGER_OWNED_BY(engine) std::uint64_t _intra = 0;
     /// <0 = none; see nextStamp()
     DAGGER_OWNED_BY(engine) std::int64_t _prioOverride = -1;

@@ -5,23 +5,43 @@
  *
  * The single-queue engine (event_queue.hh) runs the whole simulation
  * on one thread.  This engine partitions it into domains — one
- * EventQueue per shard — and advances them in lock-step *rounds*:
+ * EventQueue per shard — and advances them in lock-step *rounds* over
+ * adaptive windows:
  *
- *   round k over window [T, end), end = min(T + lookahead, target+1)
+ *   round k over window [T, E), E = min(LB + lookahead, target+1)
+ *   where LB is the global next-tick lower bound (queues, unadmitted
+ *   pending heaps, staged/in-flight hand-offs)
  *     1. parallel phase — every shard (1..S-1, worker threads; shard 0
  *        is handled in step 3) drains its inboxes, admits pending
- *        cross events with when < end in stamp order, and runs its own
- *        queue through the window.  Admissions at/after end spill back
- *        to the shard's pending list; cross-domain events go through
- *        SPSC mailboxes and must land at least `lookahead` ticks out.
- *     2. barrier.
+ *        cross events with when < E in stamp order, runs its own queue
+ *        through the window, and publishes its staged cross/apply
+ *        batches (one mailbox release-store per destination).
+ *        Admissions at/after E spill back to the shard's pending heap;
+ *        cross-domain events must land at least `lookahead` ticks out.
+ *     2. barrier (sense-reversing, spin-then-park).
  *     3. serial phase — the coordinator runs shard 0 (the fabric/ToR
  *        domain): inbox drain + admission, then the *applies* —
  *        synchronous zero-latency calls into shard-0 state (e.g. a
  *        host-side port issuing into the shared interconnect channel)
  *        — interleaved at their exact sequential position via
  *        EventQueue::runWhileBefore, then the rest of the window.
- *     4. T = end; idle rounds skip ahead to the earliest pending tick.
+ *        Rounds where shard 0 has nothing due in-window, drained
+ *        inboxes, and no queued applies skip this phase entirely.
+ *     4. T = E.
+ *
+ * Because E is derived from LB, idle stretches collapse into the next
+ * window instead of iterating empty rounds, and sparse phases extend
+ * each window to cover the gap to the next event plus a full lookahead.
+ * Dense phases degrade to the static T + lookahead window.
+ *
+ * When exactly one shard holds any work (no in-flight hand-offs, no
+ * queued applies) the engine drops out of rounds entirely: the active
+ * shard runs *solo* on the coordinator in lookahead-wide chunks with
+ * no spill horizon, no barriers, and no serial phase, exiting at the
+ * first chunk that stages an outbound event (which, by the chunk
+ * width, lands at or after the chunk end — the commit point the next
+ * round starts from).  A single-shard-active workload therefore runs
+ * at near single-queue speed.
  *
  * `lookahead` must not exceed the minimum cross-domain latency: every
  * cross-post born inside a window then lands at or after the window
@@ -29,8 +49,9 @@
  * stamped with their scheduling context and admitted in stamp order,
  * which reproduces the single-queue engine's (tick, priority, seq)
  * dispatch order exactly — same-seed runs are byte-identical at any
- * shard or worker count (docs/PERF.md has the full argument and the
- * acceptance protocol).
+ * shard or worker count (docs/PERF.md has the full argument, why the
+ * window must stay uniform across shards, and the acceptance
+ * protocol).
  *
  * Worker threads are a performance knob, not a semantic one: with zero
  * workers the coordinator multiplexes every shard inline and the
@@ -94,7 +115,9 @@ class ShardedEngine
     /**
      * Hand @p fn to shard @p to, to run at now(@p from) + @p delay.
      * Must only be called from shard @p from's execution context, and
-     * @p delay must respect the engine lookahead (asserted).
+     * @p delay must respect the engine lookahead (asserted).  The
+     * event is staged locally and published to the SPSC mailbox at
+     * window close.
      */
     void postCross(unsigned from, unsigned to, TickDelta delay,
                    EventFn &&fn, Priority prio = Priority::Default);
@@ -125,9 +148,34 @@ class ShardedEngine
     /** Events that overflowed the ring across shard @p s's inboxes. */
     std::uint64_t mailboxOverflowed(unsigned s) const;
 
+    // All of the following are deterministic: they depend only on the
+    // event schedule, never on thread timing (barrierSpins/Parks are
+    // the one exception and say so).
+
+    /** Full barrier rounds executed (parallel + serial machinery). */
     std::uint64_t rounds() const { return _rounds; }
-    std::uint64_t skips() const { return _skips; }
+    /** Single-active-shard stretches run without rounds or barriers. */
+    std::uint64_t soloRuns() const { return _soloRuns; }
+    /** Lookahead-wide chunks executed inside solo stretches. */
+    std::uint64_t soloChunks() const { return _soloChunks; }
+    /** Rounds whose window was extended past start + lookahead. */
+    std::uint64_t windowsExtended() const { return _windowsExtended; }
+    /** Rounds that ran the static start + lookahead window. */
+    std::uint64_t windowsStatic() const { return _windowsStatic; }
+    /** Sum of round window widths in ticks (mean = sum / rounds). */
+    std::uint64_t windowTicksSum() const { return _windowTicksSum; }
+    /** Widest round window in ticks. */
+    std::uint64_t windowTicksMax() const { return _windowTicksMax; }
+    /** Serial phases skipped because shard 0 provably had no work. */
+    std::uint64_t serialElided() const { return _serialElided; }
+    /** Staging-buffer publications across all shards (non-empty). */
+    std::uint64_t batchFlushes() const;
     std::uint64_t appliesRun() const { return _appliesRun; }
+
+    /** Barrier arrivals resolved by spinning (host-timing dependent). */
+    std::uint64_t barrierSpins() const;
+    /** Barrier arrivals that parked on a condvar (host-timing dependent). */
+    std::uint64_t barrierParks() const;
 
     /** Install a wall-clock source; enables the *_ns accessors. */
     void setClock(ClockFn clock) { _clock = clock; }
@@ -156,9 +204,18 @@ class ShardedEngine
     void round(Tick start, Tick end);
     void runShardWindow(unsigned s);
     void serialPhase();
+    bool canElideSerial(Tick end) const;
+    /** Publish shard @p s's staged cross/apply batches to its mailboxes. */
+    void flushShard(unsigned s);
+    /**
+     * Run shard @p s alone from @p t in lookahead-wide chunks until it
+     * stages an outbound event, drains, or reaches @p bound; returns
+     * the committed time (the end of the last chunk executed).
+     */
+    Tick soloRun(unsigned s, Tick t, Tick bound);
+    /** Run applies staged during a solo stretch at its commit point. */
+    void soloApplyEpilogue(Tick commit);
     void workerLoop(unsigned w);
-    /** Conservative lower bound on the next event tick anywhere. */
-    Tick nextTickLowerBound() const;
 
     unsigned _nshards;
     Tick _lookahead;
@@ -183,7 +240,13 @@ class ShardedEngine
     std::unique_ptr<RoundBarrier> _doneGate;
 
     DAGGER_OWNED_BY(engine) std::uint64_t _rounds = 0;
-    DAGGER_OWNED_BY(engine) std::uint64_t _skips = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _soloRuns = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _soloChunks = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _windowsExtended = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _windowsStatic = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _windowTicksSum = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _windowTicksMax = 0;
+    DAGGER_OWNED_BY(engine) std::uint64_t _serialElided = 0;
     DAGGER_OWNED_BY(engine) std::uint64_t _appliesRun = 0;
 
     ClockFn _clock = nullptr;

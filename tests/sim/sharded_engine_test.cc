@@ -378,33 +378,100 @@ TEST(ShardedEngine, SpillsDeferLocalEventsPastTheWindow)
     EventQueue q0;
     ShardedEngine eng(q0, 2, kLookahead);
     std::vector<Tick> ran;
+    // Shard 0 holds work too, so the engine stays in round mode (a
+    // single active shard would run solo, spill-free).
+    q0.scheduleAt(999, [] {});
     eng.queue(1).scheduleAt(999, [&eng, &ran] {
-        // 999 + 500 = 1'499 >= the window end (1'000): must spill and
-        // still run, exactly once, at its tick.
-        eng.queue(1).schedule(500, [&eng, &ran] {
+        // The adaptive window is [999, 999 + 1'000): a local schedule
+        // landing at 999 + 1'500 = 2'499 is past the window end and
+        // must spill, then still run exactly once at its tick.
+        eng.queue(1).schedule(1'500, [&eng, &ran] {
             ran.push_back(eng.queue(1).now());
         });
     });
     eng.runUntil(3'000);
-    EXPECT_EQ(ran, (std::vector<Tick>{1'499}));
+    EXPECT_EQ(ran, (std::vector<Tick>{2'499}));
     EXPECT_EQ(eng.shardStats(1).spills, 1u);
 }
 
-TEST(ShardedEngine, SkipAheadJumpsIdleGaps)
+TEST(ShardedEngine, SoloModeRunsASingleActiveShardWithoutRounds)
 {
     EventQueue q0;
     ShardedEngine eng(q0, 3, kLookahead);
     int ran = 0;
     eng.queue(1).scheduleAt(10, [&eng, &ran] {
         ++ran;
-        // Far future, same shard: spills, then the engine should jump.
+        // Far future, same shard: with every other shard idle this is
+        // a direct insert (no spill), and the solo chunk loop jumps
+        // the gap instead of iterating ~60k windows.
         eng.queue(1).scheduleAt(60'000'000, [&ran] { ++ran; });
     });
     eng.runUntil(100'000'000);
     EXPECT_EQ(ran, 2);
-    EXPECT_GE(eng.skips(), 2u);
-    // Without skip-ahead this would be ~100k rounds.
+    EXPECT_GE(eng.soloRuns(), 1u);
+    EXPECT_LE(eng.soloChunks(), 8u);
+    EXPECT_EQ(eng.rounds(), 0u);
+    EXPECT_EQ(eng.shardStats(1).spills, 0u);
+}
+
+TEST(ShardedEngine, AdaptiveWindowExtendsAcrossIdleGaps)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    int ran = 0;
+    // Two active shards force round mode; both park far-future work,
+    // so the next window must extend across the gap in one round.
+    for (unsigned s : {1u, 2u}) {
+        eng.queue(s).scheduleAt(10 + s, [&eng, &ran, s] {
+            ++ran;
+            eng.queue(s).scheduleAt(60'000'000 + s, [&ran] { ++ran; });
+        });
+    }
+    eng.runUntil(100'000'000);
+    EXPECT_EQ(ran, 4);
+    EXPECT_GE(eng.windowsExtended(), 1u);
+    // Without extension this would be ~100k rounds.
     EXPECT_LE(eng.rounds(), 16u);
+    EXPECT_GE(eng.windowTicksMax(), 59'000'000u);
+}
+
+TEST(ShardedEngine, SerialPhaseElidedWhileShard0Idle)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    // Both parallel shards stay busy; shard 0 never has work, gets no
+    // hand-offs, and no applies — every serial phase is elidable.
+    for (unsigned s : {1u, 2u}) {
+        eng.queue(s).scheduleAt(100, [] {});
+        eng.queue(s).scheduleAt(2'500, [] {});
+    }
+    eng.runUntil(5'000);
+    EXPECT_GT(eng.rounds(), 0u);
+    EXPECT_EQ(eng.serialElided(), eng.rounds());
+    EXPECT_EQ(q0.executed(), 0u);
+    EXPECT_EQ(q0.now(), 5'000u);
+}
+
+TEST(ShardedEngine, BatchedPublicationCountsFlushes)
+{
+    EventQueue q0;
+    ShardedEngine eng(q0, 3, kLookahead);
+    int arrived = 0;
+    // Keep shard 2 busy so round mode stays engaged, and have shard 1
+    // post several cross events in one window: they publish as one
+    // batch flush.
+    eng.queue(2).scheduleAt(100, [] {});
+    eng.queue(2).scheduleAt(2'500, [] {});
+    eng.queue(1).scheduleAt(100, [&eng, &arrived] {
+        for (int i = 0; i < 5; ++i)
+            eng.postCross(1, 2, kLookahead + i, [&arrived] { ++arrived; });
+    });
+    eng.runUntil(5'000);
+    EXPECT_EQ(arrived, 5);
+    EXPECT_EQ(eng.shardStats(1).crossSent, 5u);
+    EXPECT_EQ(eng.shardStats(1).flushedCross, 5u);
+    EXPECT_EQ(eng.shardStats(1).batchFlushes, 1u);
+    EXPECT_EQ(eng.shardStats(2).crossRecvd, 5u);
 }
 
 TEST(ShardedEngine, RunUntilAdvancesEveryQueueWhenIdle)
