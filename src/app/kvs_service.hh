@@ -117,6 +117,11 @@ class KvsClient
   public:
     using GetCb = std::function<void(bool hit, std::string_view value)>;
     using SetCb = std::function<void(bool stored)>;
+    /** Status-aware continuations: fire exactly once per call, even
+     *  when the underlying RetryPolicy exhausts its budget. */
+    using GetStatusCb = std::function<void(rpc::CallStatus, bool hit,
+                                           std::string_view value)>;
+    using SetStatusCb = std::function<void(rpc::CallStatus, bool stored)>;
 
     explicit KvsClient(rpc::RpcClient &client) : _client(client) {}
 
@@ -125,6 +130,14 @@ class KvsClient
 
     /** Non-blocking SET. */
     void set(std::string_view key, std::string_view value, SetCb cb = {});
+
+    /** GET whose continuation also reports the call outcome (for
+     *  degraded-mode callers under a timeout budget). */
+    void getChecked(std::string_view key, GetStatusCb cb);
+
+    /** SET with outcome reporting; see getChecked(). */
+    void setChecked(std::string_view key, std::string_view value,
+                    SetStatusCb cb);
 
     rpc::RpcClient &raw() { return _client; }
 

@@ -39,6 +39,7 @@ constexpr DatasetShape kSmall{16, 32, "small"};
 struct KvOp
 {
     bool isGet = true;
+    std::uint64_t keyIndex = 0; ///< Zipf rank the key was drawn at
     std::string key;
     std::string value; ///< empty for GETs
 };
@@ -90,6 +91,7 @@ class KvWorkload
     {
         KvOp op;
         const std::uint64_t idx = _zipf.next();
+        op.keyIndex = idx;
         op.key = keyFor(idx);
         op.isGet = _rng.uniform() < _getRatio;
         if (!op.isGet)

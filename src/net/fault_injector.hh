@@ -11,10 +11,18 @@
  * so the reliability stack above it (nic::AckProtocol, RpcClient retry
  * budgets) can be exercised reproducibly.
  *
- * Determinism contract: every random decision comes from one seeded
- * sim::Rng consumed in packet-arrival order, which the event queue
- * makes deterministic; two runs with the same seed make byte-identical
- * fault decisions regardless of --jobs.
+ * Determinism contract: every installed port owns its own seeded
+ * sim::Rng, consumed in that port's packet-arrival order.  Per-port
+ * arrival order is what the sharded engine reproduces byte-identically
+ * at any --shards count, so fault decisions are identical across
+ * --jobs AND --shards — and no rng is ever shared across shard
+ * domains.  The first installed port uses the spec seed directly
+ * (single-port installs see the classic stream); every further port
+ * derives its stream by mixing its node id into the seed.
+ *
+ * Install ports and register scripts before traffic starts: the
+ * per-port state table and the script tables are read-only once
+ * packets flow.
  */
 
 #ifndef DAGGER_NET_FAULT_INJECTOR_HH
@@ -27,6 +35,7 @@
 
 #include "net/tor_switch.hh"
 #include "sim/metrics.hh"
+#include "sim/ownership.hh"
 #include "sim/rng.hh"
 
 namespace dagger::net {
@@ -61,43 +70,49 @@ struct FaultSpec
 };
 
 /**
- * One injector instance guards one SwitchPort's delivery side.  A
- * single FaultInjector may be installed on several ports; its rng is
- * then shared across them (still deterministic — consumption order is
- * event order).
+ * One injector instance guards the delivery side of one or more
+ * SwitchPorts.  Each installed port gets its own domain-local rng
+ * stream and counters, so an injector may span ports living on
+ * different shards of a sharded engine.
  */
 class FaultInjector
 {
   public:
     FaultInjector(sim::EventQueue &eq, FaultSpec spec = {})
-        : _eq(eq), _spec(spec), _rng(spec.seed)
+        : _eq(eq), _spec(spec)
     {}
 
-    /** Install on @p port (equivalent to port.setFaultInjector(this)). */
-    void install(SwitchPort &port) { port.setFaultInjector(this); }
+    /** Install on @p port (allocates the port's fault state). */
+    void install(SwitchPort &port);
 
-    /** Script: drop the @p nth packet seen (1-based). */
+    /** Script: drop the @p nth packet seen on a port (1-based). */
     void scriptDrop(std::uint64_t nth) { _scriptDrops.insert(nth); }
 
-    /** Script: delay the @p nth packet seen (1-based) by @p delay. */
+    /** Script: delay a port's @p nth packet (1-based) by @p delay. */
     void
     scriptDelay(std::uint64_t nth, sim::Tick delay)
     {
         _scriptDelays[nth] = delay;
     }
 
-    /** Script: flip a payload byte of the @p nth packet seen (1-based). */
+    /** Script: flip a payload byte of a port's @p nth packet (1-based). */
     void scriptCorrupt(std::uint64_t nth) { _scriptCorrupts.insert(nth); }
 
     const FaultSpec &spec() const { return _spec; }
 
-    std::uint64_t seen() const { return _seen.value(); }
-    std::uint64_t delivered() const { return _delivered.value(); }
-    std::uint64_t droppedCount() const { return _dropped.value(); }
-    std::uint64_t duplicated() const { return _duplicated.value(); }
-    std::uint64_t reordered() const { return _reordered.value(); }
-    std::uint64_t corrupted() const { return _corrupted.value(); }
-    std::uint64_t flapDropped() const { return _flapDropped.value(); }
+    std::uint64_t seen() const { return sum(&PortState::seen); }
+    std::uint64_t delivered() const { return sum(&PortState::delivered); }
+    std::uint64_t droppedCount() const { return sum(&PortState::dropped); }
+    std::uint64_t duplicated() const
+    {
+        return sum(&PortState::duplicated);
+    }
+    std::uint64_t reordered() const { return sum(&PortState::reordered); }
+    std::uint64_t corrupted() const { return sum(&PortState::corrupted); }
+    std::uint64_t flapDropped() const
+    {
+        return sum(&PortState::flapDropped);
+    }
 
     /** Register net.fault.* counters under @p scope. */
     void registerMetrics(sim::MetricScope scope);
@@ -105,31 +120,49 @@ class FaultInjector
   private:
     friend class SwitchPort;
 
+    /**
+     * Domain-local fault state of one installed port: its rng stream,
+     * script index, and statistics all live (and mutate) in the
+     * port's shard domain.
+     */
+    struct PortState
+    {
+        explicit PortState(std::uint64_t seed) : rng(seed) {}
+
+        DAGGER_OWNED_BY(node) sim::Rng rng;
+        DAGGER_OWNED_BY(node) std::uint64_t index = 0; ///< script index
+        DAGGER_OWNED_BY(node) std::uint64_t seen = 0;
+        DAGGER_OWNED_BY(node) std::uint64_t delivered = 0;
+        DAGGER_OWNED_BY(node) std::uint64_t dropped = 0;
+        DAGGER_OWNED_BY(node) std::uint64_t duplicated = 0;
+        DAGGER_OWNED_BY(node) std::uint64_t reordered = 0;
+        DAGGER_OWNED_BY(node) std::uint64_t corrupted = 0;
+        DAGGER_OWNED_BY(node) std::uint64_t flapDropped = 0;
+    };
+
     /** Apply the fault model to @p pkt bound for @p port's receiver. */
     void process(SwitchPort &port, Packet pkt);
 
     /** Deliver now or after @p delay, through the injector bypass. */
-    void schedule(SwitchPort &port, Packet pkt, sim::Tick delay);
+    void schedule(SwitchPort &port, PortState &st, Packet pkt,
+                  sim::Tick delay);
 
     bool inFlap(sim::Tick now) const;
-    void corruptPayload(Packet &pkt);
+    void corruptPayload(PortState &st, Packet &pkt);
+    std::uint64_t sum(std::uint64_t PortState::*field) const;
 
-    sim::EventQueue &_eq;
+    sim::EventQueue &_eq; ///< construction-domain queue (unsharded use)
     FaultSpec _spec;
-    sim::Rng _rng;
 
-    std::uint64_t _index = 0; ///< packets seen (1-based script index)
+    /** Keyed by port; entries are created by install() and the table
+     *  itself is never touched once traffic starts — only the mapped
+     *  PortStates mutate, each in its own port's domain. */
+    std::map<const SwitchPort *, PortState> _ports;
+
+    // Scripts are read-only during the run (see file comment).
     std::set<std::uint64_t> _scriptDrops;
     std::set<std::uint64_t> _scriptCorrupts;
     std::map<std::uint64_t, sim::Tick> _scriptDelays;
-
-    sim::Counter _seen;
-    sim::Counter _delivered;
-    sim::Counter _dropped;
-    sim::Counter _duplicated;
-    sim::Counter _reordered;
-    sim::Counter _corrupted;
-    sim::Counter _flapDropped;
 };
 
 } // namespace dagger::net

@@ -60,9 +60,6 @@ TorSwitch::dropped() const
 void
 SwitchPort::setFaultInjector(FaultInjector *fi)
 {
-    dagger_assert(!_switch._engine || !fi,
-                  "fault injection is a single-domain feature; run with "
-                  "--shards 1");
     _fault = fi;
 }
 

@@ -76,8 +76,9 @@ class SwitchPort
      * Install a fault injector on this port's *delivery* side: every
      * packet that finishes egress serialization is handed to @p fi
      * instead of the receiver, and @p fi decides whether (and when) it
-     * reaches the receiver.  nullptr uninstalls.  Not available on a
-     * sharded system (the injector is a single-domain component).
+     * reaches the receiver.  nullptr uninstalls.  On a sharded system
+     * the injector's per-port state runs in this port's domain (use
+     * FaultInjector::install, which allocates it).
      */
     void setFaultInjector(FaultInjector *fi);
 

@@ -109,20 +109,40 @@ RpcClient::issueCall(proto::ConnId conn, proto::FnId fn, const void *data,
     proto::RpcMessage msg(conn, rpc_id, fn, proto::MsgType::Request,
                           std::move(payload));
 
-    _thread.execute(cost, [this, rpc_id, msg = std::move(msg)]() {
+    const sim::Tick issued_at = _node.eq().now();
+    _thread.execute(cost, [this, rpc_id, issued_at, msg = std::move(msg)]() {
         auto it = _pending.find(rpc_id);
         if (it == _pending.end())
             return; // cancelled
         if (!_node.flow(_flow).tx.push(msg)) {
             ++_sendFailures;
+            if (_retry.enabled()) {
+                // Full ring on the first copy: keep the entry and let
+                // a short re-attempt timer carry it instead of
+                // dropping the call on the floor.
+                ++_resendDrops;
+                _node.system().reliability().resendDrops.inc();
+                armResendRetry(rpc_id);
+                return;
+            }
             _pending.erase(it);
             return;
         }
-        it->second.sentAt = _node.eq().now();
+        const sim::Tick now = _node.eq().now();
+        it->second.sentAt = now;
         ++_sent;
+        if (_retry.enabled()) {
+            // The timeout budget starts when the request reaches the
+            // TX ring: arming at issue time raced the send lambda
+            // under CPU backlog, so the timer could fire — and
+            // retransmit — before the first copy was ever sent.
+            if (now - issued_at >= _retry.timeout) {
+                ++_spuriousArms;
+                _node.system().reliability().spuriousArms.inc();
+            }
+            armCallTimer(rpc_id, _retry.timeout);
+        }
     });
-    if (_retry.enabled())
-        armCallTimer(rpc_id, _retry.timeout);
 }
 
 sim::Tick
@@ -178,6 +198,17 @@ RpcClient::onCallTimeout(proto::RpcId rpc_id)
     ++p.attempt;
     ++_retriesSent;
     _node.system().reliability().retries.inc();
+    resend(rpc_id);
+    armCallTimer(rpc_id, retryTimeout(p.attempt));
+}
+
+void
+RpcClient::resend(proto::RpcId rpc_id)
+{
+    auto it = _pending.find(rpc_id);
+    if (it == _pending.end())
+        return; // resolved meanwhile
+    Pending &p = it->second;
     proto::RpcMessage msg(p.conn, rpc_id, p.fn, proto::MsgType::Request,
                           p.payload);
     DaggerSystem &sys = _node.system();
@@ -186,12 +217,52 @@ RpcClient::onCallTimeout(proto::RpcId rpc_id)
     if (_shared)
         cost += sys.swCost().srqLockCost;
     _thread.execute(cost, [this, rpc_id, msg = std::move(msg)]() {
-        if (_pending.find(rpc_id) == _pending.end())
+        auto it = _pending.find(rpc_id);
+        if (it == _pending.end())
             return; // resolved while the resend was queued
-        if (!_node.flow(_flow).tx.push(msg))
+        if (!_node.flow(_flow).tx.push(msg)) {
+            // A full backoff used to elapse here with nothing in
+            // flight; re-attempt on a short timer instead, and make
+            // the storm visible.
             ++_sendFailures;
+            ++_resendDrops;
+            _node.system().reliability().resendDrops.inc();
+            armResendRetry(rpc_id);
+            return;
+        }
+        if (it->second.sentAt == 0) {
+            // First copy to reach the ring (the issue-time send was
+            // dropped): start the round-trip clock and the timeout.
+            it->second.sentAt = _node.eq().now();
+            ++_sent;
+            if (_retry.enabled())
+                armCallTimer(rpc_id, _retry.timeout);
+        }
     });
-    armCallTimer(rpc_id, retryTimeout(p.attempt));
+}
+
+void
+RpcClient::armResendRetry(proto::RpcId rpc_id)
+{
+    auto it = _pending.find(rpc_id);
+    if (it == _pending.end() || it->second.resendQueued)
+        return;
+    it->second.resendQueued = true;
+    // Deterministic short re-attempt, a fraction of the first timeout:
+    // long enough for the NIC to drain ring entries, far shorter than
+    // a backoff step.
+    const sim::Tick delay = std::max<sim::Tick>(1, _retry.timeout / 8);
+    auto fire = [this, rpc_id] {
+        auto it2 = _pending.find(rpc_id);
+        if (it2 == _pending.end())
+            return;
+        it2->second.resendQueued = false;
+        resend(rpc_id);
+    };
+    // Hot under ring backpressure; keep it on the event pool's
+    // allocation-free path.
+    static_assert(sim::EventClosure::fitsInline<decltype(fire)>());
+    _node.eq().schedule(delay, std::move(fire));
 }
 
 void

@@ -158,6 +158,14 @@ class RpcClient
     std::uint64_t retriesSent() const { return _retriesSent; }
     /** Responses that arrived after their call was retried/timed out. */
     std::uint64_t lateResponses() const { return _lateResponses; }
+    /**
+     * Timer arms whose send was delayed past the first timeout by CPU
+     * backlog — calls that the old issue-time arming would have
+     * spuriously retransmitted before they ever reached the TX ring.
+     */
+    std::uint64_t spuriousArms() const { return _spuriousArms; }
+    /** Resend attempts that found the TX ring full. */
+    std::uint64_t resendDrops() const { return _resendDrops; }
     std::size_t pendingCalls() const { return _pending.size(); }
 
     /** Round-trip latency of completed calls, in ticks. */
@@ -176,6 +184,8 @@ class RpcClient
                    std::size_t len, ResponseCb cb, StatusCb scb);
     void armCallTimer(proto::RpcId rpc_id, sim::Tick timeout);
     void onCallTimeout(proto::RpcId rpc_id);
+    void resend(proto::RpcId rpc_id);
+    void armResendRetry(proto::RpcId rpc_id);
     sim::Tick retryTimeout(unsigned attempt) const;
     void rememberRetried(proto::RpcId rpc_id);
 
@@ -197,6 +207,9 @@ class RpcClient
         StatusCb scb;
         sim::Tick sentAt = 0;
         unsigned attempt = 0; ///< resends issued so far
+        /** A short ring-full re-attempt is queued; suppresses a second
+         *  chain when the backoff timer fires while one is pending. */
+        bool resendQueued = false;
         // Resend state, kept only while a RetryPolicy is enabled.  The
         // payload handle is shared with the in-flight message: resends
         // re-wrap it, they never re-copy the bytes.
@@ -221,6 +234,8 @@ class RpcClient
     DAGGER_OWNED_BY(node) std::uint64_t _timeouts = 0;
     DAGGER_OWNED_BY(node) std::uint64_t _retriesSent = 0;
     DAGGER_OWNED_BY(node) std::uint64_t _lateResponses = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _spuriousArms = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _resendDrops = 0;
 };
 
 /**

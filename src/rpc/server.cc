@@ -16,8 +16,13 @@ void
 WorkerPool::submit(sim::Tick cost, sim::EventFn fn)
 {
     ++_submitted;
+    ++_inflight;
     const sim::Tick delay = _sys.swCost().workerHandoffDelay;
-    _handoff.push_back(Handoff{cost, std::move(fn)});
+    _handoff.push_back(
+        Handoff{cost, [this, fn = std::move(fn)]() mutable {
+                    --_inflight;
+                    fn();
+                }});
     _eq.schedule(delay, [this] { dispatchOne(); });
 }
 
@@ -76,11 +81,25 @@ RpcServerThread::processNext()
         return;
     }
     proto::RpcMessage msg;
-    if (!_node.flow(_flow).rx.popMessage(msg)) {
+    RxRing &rx = _node.flow(_flow).rx;
+    if (!rx.popMessage(msg)) {
         _rxScheduled = false;
         return;
     }
     const SwCost &costs = _node.system().swCost();
+
+    // Admission control: with more than maxQueue requests still backed
+    // up behind this one — RX frames plus work parked in the worker
+    // pool — serving it only adds queueing delay to everything after
+    // it.  Drop it at poll cost and let the caller's retry/degraded
+    // path take over.
+    const std::size_t backlog =
+        rx.occupied() + (_pool ? _pool->inflight() : 0);
+    if (_shed.enabled() && backlog > _shed.maxQueue) {
+        ++_shedCalls;
+        _dispatch.execute(costs.pollCost, [this] { processNext(); });
+        return;
+    }
 
     auto it = _handlers.find(msg.fnId());
     if (it == _handlers.end()) {
@@ -199,12 +218,28 @@ RpcThreadedServer::setWorkerPool(WorkerPool *pool)
         t->setWorkerPool(pool);
 }
 
+void
+RpcThreadedServer::setShedPolicy(ShedPolicy policy)
+{
+    for (auto &t : _threads)
+        t->setShedPolicy(policy);
+}
+
 std::uint64_t
 RpcThreadedServer::totalProcessed() const
 {
     std::uint64_t n = 0;
     for (const auto &t : _threads)
         n += t->processed();
+    return n;
+}
+
+std::uint64_t
+RpcThreadedServer::totalShed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : _threads)
+        n += t->shedCalls();
     return n;
 }
 

@@ -56,6 +56,25 @@ struct HandlerOutcome
 using Handler = std::function<HandlerOutcome(const proto::RpcMessage &)>;
 
 /**
+ * Admission control for a server thread.  Under open-loop overload an
+ * unbounded request backlog turns every queued request into guaranteed
+ * tail-latency damage *and* keeps the CPU busy serving requests whose
+ * clients have already timed out.  A shed policy bounds the backlog:
+ * when a request is popped while more than @ref maxQueue requests are
+ * still queued behind it — RX frames plus, in the Optimized model,
+ * work sitting in the tier's WorkerPool — it is dropped at poll cost
+ * instead of being handled.  Clients see the shed as a loss — their
+ * RetryPolicy (or the caller's degraded path) decides what happens
+ * next.
+ */
+struct ShedPolicy
+{
+    std::size_t maxQueue = 0; ///< request-backlog bound (0 = off)
+
+    bool enabled() const { return maxQueue > 0; }
+};
+
+/**
  * Worker-thread pool for the Optimized threading model.  Work is
  * placed on the least-loaded worker after the inter-thread handoff
  * delay.
@@ -70,6 +89,8 @@ class WorkerPool
 
     std::uint64_t submitted() const { return _submitted; }
     std::size_t workers() const { return _workers.size(); }
+    /** Work submitted but not yet run (queued + waiting on a worker). */
+    std::size_t inflight() const { return _inflight; }
 
   private:
     struct Handoff
@@ -91,6 +112,7 @@ class WorkerPool
      *  makes event order == submit order == deque order (FIFO). */
     DAGGER_OWNED_BY(node) std::deque<Handoff> _handoff;
     DAGGER_OWNED_BY(node) std::uint64_t _submitted = 0;
+    DAGGER_OWNED_BY(node) std::size_t _inflight = 0;
 };
 
 /**
@@ -112,6 +134,11 @@ class RpcServerThread
      * Pass nullptr to return to dispatch-thread execution.
      */
     void setWorkerPool(WorkerPool *pool) { _pool = pool; }
+
+    /** Install (or disable, with a default-constructed policy) load
+     *  shedding on this thread's RX backlog. */
+    void setShedPolicy(ShedPolicy policy) { _shed = policy; }
+    const ShedPolicy &shedPolicy() const { return _shed; }
 
     /**
      * Send a response outside the handler's return path.  Used by
@@ -140,6 +167,8 @@ class RpcServerThread
     std::uint64_t responsesSent() const { return _responsesSent; }
     std::uint64_t txBlocked() const { return _txBlocked; }
     std::uint64_t unhandled() const { return _unhandled; }
+    /** Requests dropped by the shed policy. */
+    std::uint64_t shedCalls() const { return _shedCalls; }
 
     DaggerNode &node() { return _node; }
     unsigned flow() const { return _flow; }
@@ -154,6 +183,7 @@ class RpcServerThread
     unsigned _flow;
     HwThread &_dispatch;
     WorkerPool *_pool = nullptr;
+    ShedPolicy _shed;
     std::unordered_map<proto::FnId, Handler> _handlers;
     DAGGER_OWNED_BY(node) bool _rxScheduled = false;
     DAGGER_OWNED_BY(node) bool _paused = false;
@@ -162,6 +192,7 @@ class RpcServerThread
     DAGGER_OWNED_BY(node) std::uint64_t _responsesSent = 0;
     DAGGER_OWNED_BY(node) std::uint64_t _txBlocked = 0;
     DAGGER_OWNED_BY(node) std::uint64_t _unhandled = 0;
+    DAGGER_OWNED_BY(node) std::uint64_t _shedCalls = 0;
 };
 
 /**
@@ -182,11 +213,15 @@ class RpcThreadedServer
     /** Apply the Optimized threading model to all threads. */
     void setWorkerPool(WorkerPool *pool);
 
+    /** Apply a shed policy to all threads. */
+    void setShedPolicy(ShedPolicy policy);
+
     RpcServerThread &serverThread(std::size_t i) { return *_threads.at(i); }
     std::size_t size() const { return _threads.size(); }
     DaggerNode &node() { return _node; }
 
     std::uint64_t totalProcessed() const;
+    std::uint64_t totalShed() const;
 
   private:
     DaggerNode &_node;

@@ -161,12 +161,23 @@ DaggerSystem::DaggerSystem(ic::IfaceKind iface, ic::UpiCost upi,
     // Client retry/timeout behaviour, aggregated across all RpcClients
     // (JSON-only, like sim.events.*: the text report is byte-compared).
     sim::MetricScope rel = root.sub("rpc").sub("reliability");
-    rel.counter("retries", _reliability.retries, sim::MetricText::Hide);
-    rel.counter("timeouts", _reliability.timeouts, sim::MetricText::Hide);
-    rel.counter("completions", _reliability.completions,
-                sim::MetricText::Hide);
-    rel.counter("late_responses", _reliability.lateResponses,
-                sim::MetricText::Hide);
+    rel.intGauge("retries", [this] { return _reliability.retries.value(); },
+                 sim::MetricText::Hide);
+    rel.intGauge("timeouts",
+                 [this] { return _reliability.timeouts.value(); },
+                 sim::MetricText::Hide);
+    rel.intGauge("completions",
+                 [this] { return _reliability.completions.value(); },
+                 sim::MetricText::Hide);
+    rel.intGauge("late_responses",
+                 [this] { return _reliability.lateResponses.value(); },
+                 sim::MetricText::Hide);
+    rel.intGauge("spurious_arms",
+                 [this] { return _reliability.spuriousArms.value(); },
+                 sim::MetricText::Hide);
+    rel.intGauge("resend_drops",
+                 [this] { return _reliability.resendDrops.value(); },
+                 sim::MetricText::Hide);
     // Payload-path traffic accounting (JSON-only).  The counters are
     // process-global (proto::payloadStats()), not per-system: they
     // prove the zero-copy invariant — bytes_copied stays O(payload)

@@ -14,6 +14,7 @@
 #ifndef DAGGER_RPC_SYSTEM_HH
 #define DAGGER_RPC_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -62,16 +63,42 @@ class DaggerNode
 };
 
 /**
+ * One system-wide reliability counter.  Clients live on their node's
+ * shard, so increments can land from several shard workers inside one
+ * parallel phase; the value is a commutative sum, so relaxed atomics
+ * keep the final report deterministic without serializing the hot
+ * path or routing every bump through a mailbox.
+ */
+class RelCounter
+{
+  public:
+    void inc(std::uint64_t by = 1)
+    {
+        _v.fetch_add(by, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const { return _v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> _v{0};
+};
+
+/**
  * System-wide client reliability counters, aggregated across every
  * RpcClient (clients come and go; these counters outlive them, so the
  * MetricRegistry can safely point at them).
  */
 struct ReliabilityStats
 {
-    sim::Counter retries{"retries"};
-    sim::Counter timeouts{"timeouts"};
-    sim::Counter completions{"completions"};
-    sim::Counter lateResponses{"late_responses"};
+    RelCounter retries;
+    RelCounter timeouts;
+    RelCounter completions;
+    RelCounter lateResponses;
+    /** Timer arms that the pre-fix issue-time arming would already
+     *  have expired (send delayed past the timeout by CPU backlog). */
+    RelCounter spuriousArms;
+    /** Resend attempts dropped on a full TX ring (re-attempted on a
+     *  short timer instead of waiting out a full backoff). */
+    RelCounter resendDrops;
 };
 
 /** Full simulated deployment. */

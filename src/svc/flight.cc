@@ -12,6 +12,10 @@ namespace {
 /** The one RPC every compute tier serves. */
 constexpr proto::FnId kProcess = 1;
 
+/** TierResp status values. */
+constexpr std::uint32_t kOk = 1;
+constexpr std::uint32_t kDegraded = 2; ///< served without some dependency
+
 #pragma pack(push, 1)
 struct TierReq
 {
@@ -39,8 +43,9 @@ constexpr std::uint64_t kCitizens = 200'000;
 } // namespace
 
 FlightApp::FlightApp(FlightConfig cfg)
-    : _cfg(cfg), _cpus(_sys.eq(), 12 + std::max(1u, cfg.flightWorkers)),
-      _rng(cfg.seed)
+    : _cfg(cfg), _sys(ic::IfaceKind::Upi, {}, {}, cfg.shards),
+      _rng(cfg.seed), _flightRng(cfg.seed ^ 0x666c69676874ull),
+      _staffRng(cfg.seed ^ 0x7374616666ull)
 {
     buildTiers();
     installHandlers();
@@ -52,23 +57,34 @@ FlightApp::buildTiers()
     nic::SoftConfig soft;
     soft.autoBatch = true; // latency-sensitive tiers: no batch waits
 
-    auto thr = [this](unsigned core) -> rpc::HwThread & {
-        return _cpus.core(core).thread(0);
-    };
+    const bool optimized = _cfg.model == ThreadingModel::Optimized;
 
-    // Tiers (server flow + downstream client flows).
-    _checkin = std::make_unique<Tier>(_sys, "checkin", thr(2), 4,
+    // Tiers (server flow + downstream client flows).  Each tier owns
+    // its cores in its node's shard domain: dispatch on core 0, any
+    // worker threads on cores 1+.
+    _checkin = std::make_unique<Tier>(_sys, "checkin", 4,
+                                      optimized ? 2u : 1u,
                                       nic::NicConfig{}, soft);
-    _flight = std::make_unique<Tier>(_sys, "flight", thr(3), 0,
-                                     nic::NicConfig{}, soft);
-    _baggage = std::make_unique<Tier>(_sys, "baggage", thr(4), 0,
+    _flight = std::make_unique<Tier>(
+        _sys, "flight", 0,
+        optimized ? 1u + std::max(1u, _cfg.flightWorkers) : 1u,
+        nic::NicConfig{}, soft);
+    _baggage = std::make_unique<Tier>(_sys, "baggage", 0, 1u,
                                       nic::NicConfig{}, soft);
-    _passport = std::make_unique<Tier>(_sys, "passport", thr(5), 1,
+    _passport = std::make_unique<Tier>(_sys, "passport", 1,
+                                       optimized ? 2u : 1u,
                                        nic::NicConfig{}, soft);
-    _airport = std::make_unique<Tier>(_sys, "airport", thr(6), 0,
+    _airport = std::make_unique<Tier>(_sys, "airport", 0, 1u,
                                       nic::NicConfig{}, soft);
-    _citizens = std::make_unique<Tier>(_sys, "citizens", thr(7), 0,
+    _citizens = std::make_unique<Tier>(_sys, "citizens", 0, 1u,
                                        nic::NicConfig{}, soft);
+
+    // Reliability knobs (off by default; the storm benches set them).
+    if (_cfg.checkinLegBudget > 0)
+        _checkin->setTimeoutBudget(_cfg.checkinLegBudget,
+                                   _cfg.checkinLegRetries);
+    if (_cfg.flightShedQueue > 0)
+        _flight->setShedPolicy(rpc::ShedPolicy{_cfg.flightShedQueue});
 
     // Stores: single-partition MICA caches behind the two DB tiers.
     _airportStore = std::make_unique<app::MicaKvs>(1, 16u << 20, 1u << 15);
@@ -94,35 +110,39 @@ FlightApp::buildTiers()
         _passport->connectTo(*_citizens, nic::LbScheme::Static);
     _toCitizens = std::make_unique<app::KvsClient>(citizens_client);
 
-    // Front-ends: client-only nodes.
+    // Front-ends: client-only nodes, each with its own core in its
+    // node's domain.
     nic::NicConfig fe_cfg;
     fe_cfg.numFlows = 1;
     _passengerNode = &_sys.addNode(fe_cfg, soft);
-    _passengerClient =
-        std::make_unique<rpc::RpcClient>(*_passengerNode, 0, thr(0));
+    _passengerCpus =
+        std::make_unique<rpc::CpuSet>(_passengerNode->eq(), 1);
+    _passengerClient = std::make_unique<rpc::RpcClient>(
+        *_passengerNode, 0, _passengerCpus->core(0).thread(0));
     _passengerClient->setConnection(_sys.connect(
         *_passengerNode, 0, _checkin->node(), 0, nic::LbScheme::Static));
 
     _staffNode = &_sys.addNode(fe_cfg, soft);
-    _staffClient = std::make_unique<rpc::RpcClient>(*_staffNode, 0, thr(1));
+    _staffCpus = std::make_unique<rpc::CpuSet>(_staffNode->eq(), 1);
+    _staffClient = std::make_unique<rpc::RpcClient>(
+        *_staffNode, 0, _staffCpus->core(0).thread(0));
     _staffClient->setConnection(_sys.connect(
         *_staffNode, 0, _airport->node(), 0, nic::LbScheme::Static));
     _staffKvs = std::make_unique<app::KvsClient>(*_staffClient);
 
     // Optimized threading: worker pools for the long-running services.
-    if (_cfg.model == ThreadingModel::Optimized) {
-        std::vector<rpc::HwThread *> flight_workers;
-        for (unsigned w = 0; w < _cfg.flightWorkers; ++w)
-            flight_workers.push_back(&_cpus.core(12 + w).thread(0));
-        _flight->useWorkerPool(std::move(flight_workers));
+    if (optimized) {
+        _flight->useWorkerPool(std::max(1u, _cfg.flightWorkers));
         // Check-in and Passport keep their dispatch loops free by
         // running their request processing (the nested-call
         // orchestration) on workers — handlers submit to these pools
         // explicitly since the work completes asynchronously.
         _pools.push_back(std::make_unique<rpc::WorkerPool>(
-            _sys, std::vector<rpc::HwThread *>{&_cpus.core(8).thread(0)}));
+            _sys, std::vector<rpc::HwThread *>{
+                      &_checkin->ownCore(1).thread(0)}));
         _pools.push_back(std::make_unique<rpc::WorkerPool>(
-            _sys, std::vector<rpc::HwThread *>{&_cpus.core(9).thread(0)}));
+            _sys, std::vector<rpc::HwThread *>{
+                      &_passport->ownCore(1).thread(0)}));
     }
 }
 
@@ -131,7 +151,10 @@ FlightApp::installHandlers()
 {
     const bool simple = _cfg.model == ThreadingModel::Simple;
 
-    // Flight: bimodal compute, the bottleneck tier (§5.7).
+    // Flight: bimodal compute, the bottleneck tier (§5.7).  The draw
+    // comes from _costRng: the classic interleaved stream in
+    // closed-loop mode, the flight tier's own stream in storm mode
+    // (the handler runs in the flight shard's domain).
     _flight->serverThread().registerHandler(
         kProcess, [this](const proto::RpcMessage &req) {
             rpc::HandlerOutcome out;
@@ -140,11 +163,11 @@ FlightApp::installHandlers()
                 out.respond = false;
                 return out;
             }
-            out.cost = _rng.chance(_cfg.flightCheapFraction)
+            out.cost = _costRng->chance(_cfg.flightCheapFraction)
                 ? _cfg.flightCheapCost
                 : _cfg.flightExpensiveCost;
-            _tracer.record("flight", out.cost);
-            TierResp resp{r.passengerId, 1};
+            _flight->tracer().record("flight", out.cost);
+            TierResp resp{r.passengerId, kOk};
             out.response = proto::PayloadBuf::ofPod(resp);
             return out;
         });
@@ -159,13 +182,15 @@ FlightApp::installHandlers()
                 return out;
             }
             out.cost = _cfg.baggageCost;
-            _tracer.record("baggage", out.cost);
-            TierResp resp{r.passengerId, 1};
+            _baggage->tracer().record("baggage", out.cost);
+            TierResp resp{r.passengerId, kOk};
             out.response = proto::PayloadBuf::ofPod(resp);
             return out;
         });
 
-    // Passport: nested blocking call into the Citizens cache.
+    // Passport: nested blocking call into the Citizens cache.  Under
+    // a timeout budget a stranded lookup serves the passport check
+    // degraded instead of hanging the tier.
     _passport->serverThread().registerHandler(
         kProcess, [this, simple](const proto::RpcMessage &req) {
             rpc::HandlerOutcome out;
@@ -175,22 +200,27 @@ FlightApp::installHandlers()
                 return out;
             if (simple)
                 _passport->serverThread().pause();
-            const sim::Tick t0 = _sys.eq().now();
+            const sim::Tick t0 = _passport->node().eq().now();
             const auto conn = req.connId();
             const auto rpc_id = req.rpcId();
             const auto fn = req.fnId();
             const std::uint64_t pid = r.passengerId;
-            _tracer.record("passport", _cfg.passportCost);
+            _passport->tracer().record("passport", _cfg.passportCost);
             auto do_lookup = [this, simple, conn, rpc_id, fn, pid, t0] {
-                _toCitizens->get(
+                _toCitizens->getChecked(
                     keyFor(pid),
                     [this, simple, conn, rpc_id, fn, pid,
-                     t0](bool hit, std::string_view) {
-                        TierResp resp{pid, hit ? 1u : 0u};
+                     t0](rpc::CallStatus st, bool hit, std::string_view) {
+                        const std::uint32_t status =
+                            st != rpc::CallStatus::Ok ? kDegraded
+                            : hit                     ? kOk
+                                                      : 0u;
+                        TierResp resp{pid, status};
                         _passport->serverThread().respondLater(
                             conn, rpc_id, fn, &resp, sizeof(resp));
-                        _tracer.record("passport.wall",
-                                       _sys.eq().now() - t0);
+                        _passport->tracer().record(
+                            "passport.wall",
+                            _passport->node().eq().now() - t0);
                         if (simple)
                             _passport->serverThread().resume();
                     });
@@ -207,7 +237,9 @@ FlightApp::installHandlers()
         });
 
     // Check-in: fan-out to Flight/Baggage/Passport, then register in
-    // the Airport cache, then answer the front-end.
+    // the Airport cache, then answer the front-end.  Legs are status
+    // tracked: under a timeout budget an exhausted leg marks the
+    // registration degraded instead of stalling it forever.
     _checkin->serverThread().registerHandler(
         kProcess, [this, simple](const proto::RpcMessage &req) {
             rpc::HandlerOutcome out;
@@ -217,11 +249,12 @@ FlightApp::installHandlers()
                 return out;
             if (simple)
                 _checkin->serverThread().pause();
-            _tracer.record("checkin", _cfg.checkinCost);
+            _checkin->tracer().record("checkin", _cfg.checkinCost);
 
             struct Fanout
             {
                 int remaining = 3;
+                bool degraded = false;
                 proto::ConnId conn;
                 proto::RpcId rpc;
                 proto::FnId fn;
@@ -233,31 +266,38 @@ FlightApp::installHandlers()
             state->rpc = req.rpcId();
             state->fn = req.fnId();
             state->pid = r.passengerId;
-            state->t0 = _sys.eq().now();
+            state->t0 = _checkin->node().eq().now();
 
-            auto on_part = [this, simple,
-                            state](const proto::RpcMessage &) {
+            auto on_part = [this, simple, state](
+                               rpc::CallStatus st,
+                               const proto::RpcMessage &m) {
+                TierResp part{};
+                if (st != rpc::CallStatus::Ok ||
+                    (m.payloadAs(part) && part.status == kDegraded))
+                    state->degraded = true;
                 if (--state->remaining > 0)
                     return;
-                // All three answered: blocking call to the Airport DB.
+                // All three resolved: blocking call to the Airport DB.
                 _toAirport->set(
                     keyFor(state->pid), "registered",
                     [this, simple, state](bool) {
-                        TierResp resp{state->pid, 1};
+                        TierResp resp{state->pid,
+                                      state->degraded ? kDegraded : kOk};
                         _checkin->serverThread().respondLater(
                             state->conn, state->rpc, state->fn, &resp,
                             sizeof(resp));
-                        _tracer.record("checkin.wall",
-                                       _sys.eq().now() - state->t0);
+                        _checkin->tracer().record(
+                            "checkin.wall",
+                            _checkin->node().eq().now() - state->t0);
                         if (simple)
                             _checkin->serverThread().resume();
                     });
             };
             auto do_fanout = [this, state, on_part] {
                 TierReq fwd{state->pid};
-                _toFlight->callPod(kProcess, fwd, on_part);
-                _toBaggage->callPod(kProcess, fwd, on_part);
-                _toPassport->callPod(kProcess, fwd, on_part);
+                _toFlight->callPodStatus(kProcess, fwd, on_part);
+                _toBaggage->callPodStatus(kProcess, fwd, on_part);
+                _toPassport->callPodStatus(kProcess, fwd, on_part);
             };
             if (simple) {
                 out.cost = _cfg.checkinCost;
@@ -267,6 +307,27 @@ FlightApp::installHandlers()
                                      std::move(do_fanout));
             }
             return out;
+        });
+}
+
+void
+FlightApp::issuePassenger(sim::Tick t0)
+{
+    const std::uint64_t pid = _nextPassenger++;
+    ++_issued;
+    TierReq r{pid};
+    _passengerClient->callPodStatus(
+        kProcess, r,
+        [this, t0](rpc::CallStatus st, const proto::RpcMessage &m) {
+            if (st != rpc::CallStatus::Ok) {
+                ++_stormTimeouts;
+                return;
+            }
+            _e2e.record(_passengerNode->eq().now() - t0);
+            ++_completed;
+            TierResp resp{};
+            if (m.payloadAs(resp) && resp.status == kDegraded)
+                ++_completedDegraded;
         });
 }
 
@@ -283,15 +344,7 @@ FlightApp::issueRegistration()
         sim::EventQueue &eq = _passengerNode->eq();
         if (eq.now() >= _stopAt)
             return;
-        const std::uint64_t pid = _nextPassenger++;
-        ++_issued;
-        const sim::Tick t0 = eq.now();
-        TierReq r{pid};
-        _passengerClient->callPod(
-            kProcess, r, [this, t0](const proto::RpcMessage &) {
-                _e2e.record(_passengerNode->eq().now() - t0);
-                ++_completed;
-            });
+        issuePassenger(eq.now());
         issueRegistration();
     };
     // The open-loop load generator self-schedules once per request;
@@ -305,45 +358,102 @@ void
 FlightApp::run(double krps, sim::Tick duration, sim::Tick drain)
 {
     dagger_assert(krps > 0, "offered load must be positive");
+    // Closed-loop mode predates the sharded engine and keeps the
+    // classic calibration: every draw — arrival gaps, flight cost
+    // draws, staff traffic — interleaves on the one _rng stream, which
+    // is only race-free when the whole app shares a domain.  Sharded
+    // runs use runStorm(), whose streams are domain-local.
+    dagger_assert(_cfg.shards == 1,
+                  "closed-loop run() is single-shard; use runStorm()");
     _krps = krps;
     _stopAt = _sys.now() + duration;
     issueRegistration();
-
-    if (_cfg.staffReadRate > 0) {
-        // Staff front-end: background async reads of Airport records.
-        struct StaffDriver
-        {
-            FlightApp *app;
-            void
-            operator()() const
-            {
-                FlightApp *a = app;
-                // Staff reads issue from the staff node's domain.
-                sim::EventQueue &eq = a->_staffNode->eq();
-                if (eq.now() >= a->_stopAt)
-                    return;
-                const double mean_gap_us = 1e6 / a->_cfg.staffReadRate;
-                eq.schedule(
-                    sim::usToTicks(a->_rng.exponential(mean_gap_us)),
-                    [a] {
-                        if (a->_staffNode->eq().now() >= a->_stopAt)
-                            return;
-                        const std::uint64_t pid =
-                            1 + a->_rng.range(
-                                    std::max<std::uint64_t>(
-                                        1, a->_nextPassenger));
-                        a->_staffKvs->get(keyFor(pid),
-                                          [a](bool, std::string_view) {
-                                              ++a->_staffReads;
-                                          });
-                        StaffDriver{a}();
-                    });
-            }
-        };
-        StaffDriver{this}();
-    }
-
+    startStaffDriver(_rng);
     _sys.runUntilTick(_stopAt + drain);
+}
+
+void
+FlightApp::startStaffDriver(sim::Rng &rng)
+{
+    if (_cfg.staffReadRate <= 0)
+        return;
+    // Staff front-end: background async reads of Airport records,
+    // issued from the staff node's domain (keys drawn over the
+    // citizen id space).  @p rng is the classic interleaved stream in
+    // closed-loop mode and the staff-owned stream in storm mode.
+    struct StaffDriver
+    {
+        FlightApp *app;
+        sim::Rng *rng;
+        void
+        operator()() const
+        {
+            FlightApp *a = app;
+            sim::Rng *r = rng;
+            sim::EventQueue &eq = a->_staffNode->eq();
+            if (eq.now() >= a->_stopAt)
+                return;
+            const double mean_gap_us = 1e6 / a->_cfg.staffReadRate;
+            eq.schedule(
+                sim::usToTicks(r->exponential(mean_gap_us)),
+                [a, r] {
+                    if (a->_staffNode->eq().now() >= a->_stopAt)
+                        return;
+                    const std::uint64_t pid = 1 + r->range(kCitizens);
+                    a->_staffKvs->get(keyFor(pid),
+                                      [a](bool, std::string_view) {
+                                          ++a->_staffReads;
+                                      });
+                    StaffDriver{a, r}();
+                });
+        }
+    };
+    StaffDriver{this, &rng}();
+}
+
+void
+FlightApp::runStorm(const FlightStormSpec &spec)
+{
+    dagger_assert(spec.offeredRps > 0, "offered load must be positive");
+    dagger_assert(!_storm, "runStorm called twice");
+    // Storm mode is shard-safe: each draw stream lives in the domain
+    // that consumes it (flight costs in the flight shard, staff
+    // traffic in the staff shard, arrivals in the generator's).
+    _costRng = &_flightRng;
+    _stopAt = _sys.now() + spec.duration;
+    if (spec.passengerRetry.enabled())
+        _passengerClient->setRetryPolicy(spec.passengerRetry);
+
+    _storm = std::make_unique<app::OpenLoopGen>(_passengerNode->eq(),
+                                                _cfg.seed ^ 0x73746f726dull);
+    app::TenantSpec tenant;
+    tenant.name = "passengers";
+    tenant.clients = spec.clients;
+    tenant.cohorts = spec.cohorts;
+    tenant.perClientRps =
+        spec.offeredRps / static_cast<double>(spec.clients);
+    tenant.diurnal = spec.diurnal;
+    // Registration ids are monotonic, not Zipf-keyed: keep the unused
+    // per-cohort key machinery tiny (zeta init is O(keySpace)).
+    tenant.keySpace = 1024;
+    _storm->addTenant(tenant);
+    _storm->start(_stopAt, [this](const app::OpenLoopCall &) {
+        issuePassenger(_passengerNode->eq().now());
+    });
+    startStaffDriver(_staffRng);
+
+    _sys.runUntilTick(_stopAt + spec.drain);
+}
+
+Tracer &
+FlightApp::tracer()
+{
+    _tracer = Tracer();
+    for (Tier *t : {_checkin.get(), _flight.get(), _baggage.get(),
+                    _passport.get(), _airport.get(), _citizens.get()})
+        for (const auto &[name, hist] : t->tracer().all())
+            _tracer.span(name).merge(hist);
+    return _tracer;
 }
 
 } // namespace dagger::svc

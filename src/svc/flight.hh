@@ -13,6 +13,13 @@
  * fare-computation requests), which is what throttles the Simple
  * threading model to a few Krps while leaving the low-load median
  * latency in the tens of microseconds — the Table 4 contrast.
+ *
+ * Every tier owns its CPU set and RNG stream in its own node's shard
+ * domain, so the deployment runs byte-identically on the sharded
+ * parallel engine (FlightConfig::shards) — which is what lets
+ * runStorm() drive million-client open-loop load (app::OpenLoopGen)
+ * against per-tier timeout budgets, shedding, and degraded-mode
+ * fan-out.
  */
 
 #ifndef DAGGER_SVC_FLIGHT_HH
@@ -24,6 +31,7 @@
 #include "app/adapters.hh"
 #include "app/kvs_service.hh"
 #include "app/mica.hh"
+#include "app/open_loop.hh"
 #include "rpc/client.hh"
 #include "rpc/system.hh"
 #include "sim/rng.hh"
@@ -35,6 +43,9 @@ namespace dagger::svc {
 struct FlightConfig
 {
     ThreadingModel model = ThreadingModel::Simple;
+
+    /** Event-engine shards (1 = classic single-queue engine). */
+    unsigned shards = 1;
 
     /** Worker threads for the Flight service in the Optimized model. */
     unsigned flightWorkers = 16;
@@ -58,7 +69,33 @@ struct FlightConfig
     /** Staff front-end background read rate (requests/s); 0 = off. */
     double staffReadRate = 500.0;
 
+    /**
+     * Check-in's end-to-end budget for each fan-out leg (0 = no
+     * budget: legs wait forever, as the paper's closed-loop runs do).
+     * With a budget, a leg that exhausts its retry ladder is served
+     * *degraded*: the registration completes without that dependency
+     * and the response is marked so the front-end can count it.
+     */
+    sim::Tick checkinLegBudget = 0;
+    unsigned checkinLegRetries = 2; ///< resends within the budget
+
+    /** Request-backlog bound for the Flight tier (0 = no shed). */
+    std::size_t flightShedQueue = 0;
+
     std::uint64_t seed = 0x666c69676874ull;
+};
+
+/** Open-loop storm parameters (see app::OpenLoopGen). */
+struct FlightStormSpec
+{
+    std::uint64_t clients = 1'048'576; ///< simulated passenger population
+    unsigned cohorts = 64;             ///< actors carrying it
+    double offeredRps = 10'000.0;      ///< aggregate peak arrival rate
+    sim::Tick duration = sim::msToTicks(200);
+    sim::Tick drain = sim::msToTicks(50);
+    app::DiurnalCurve diurnal;         ///< flat by default
+    /** Passenger-side retry/timeout policy (off by default). */
+    rpc::RetryPolicy passengerRetry;
 };
 
 /** The deployed application. */
@@ -77,11 +114,22 @@ class FlightApp
     void run(double krps, sim::Tick duration,
              sim::Tick drain = sim::msToTicks(20));
 
+    /**
+     * Drive a million-client open-loop storm (cohort actors, diurnal
+     * curve, per-call status tracking).  May be called once per app,
+     * instead of run().
+     */
+    void runStorm(const FlightStormSpec &spec);
+
     /** End-to-end registration latency (ticks). */
     sim::Histogram &e2eLatency() { return _e2e; }
 
     std::uint64_t issued() const { return _issued; }
     std::uint64_t completed() const { return _completed; }
+    /** Completions served degraded (some fan-out leg timed out). */
+    std::uint64_t completedDegraded() const { return _completedDegraded; }
+    /** Storm calls whose passenger-side retry budget ran out. */
+    std::uint64_t stormTimeouts() const { return _stormTimeouts; }
 
     /** Fraction of issued registrations that never completed. */
     double
@@ -93,10 +141,17 @@ class FlightApp
                   static_cast<double>(_issued);
     }
 
-    /** Per-tier service-time tracing (§5.7 bottleneck analysis). */
-    Tracer &tracer() { return _tracer; }
+    /**
+     * Per-tier service-time tracing (§5.7 bottleneck analysis).
+     * Tiers record into their own shard-local tracers; this merges
+     * them into one aggregate view (rebuild on each call).
+     */
+    Tracer &tracer();
 
     rpc::DaggerSystem &system() { return _sys; }
+    Tier &checkinTier() { return *_checkin; }
+    Tier &flightTier() { return *_flight; }
+    rpc::RpcClient &passengerClient() { return *_passengerClient; }
     std::uint64_t staffReadsCompleted() const { return _staffReads; }
     app::MicaKvs &airportStore() { return *_airportStore; }
 
@@ -104,14 +159,25 @@ class FlightApp
     void buildTiers();
     void installHandlers();
     void issueRegistration();
+    void issuePassenger(sim::Tick t0);
+    void startStaffDriver(sim::Rng &rng);
 
     FlightConfig _cfg;
     rpc::DaggerSystem _sys;
-    rpc::CpuSet _cpus;
+    /** Classic stream: closed-loop run() interleaves arrival gaps,
+     *  flight cost draws, and staff traffic on it (single-shard). */
     sim::Rng _rng;
-    Tracer _tracer;
+    /** Storm-mode flight-tier stream: the bimodal handler draw runs
+     *  in the flight shard's domain. */
+    sim::Rng _flightRng;
+    /** Storm-mode staff-domain stream: read gaps and key picks. */
+    sim::Rng _staffRng;
+    /** Which stream the flight handler draws costs from; runStorm()
+     *  repoints it at _flightRng before traffic. */
+    sim::Rng *_costRng = &_rng;
+    Tracer _tracer; ///< merged view, rebuilt by tracer()
 
-    // Tiers (Fig. 13).
+    // Tiers (Fig. 13); each owns its cores in its shard domain.
     std::unique_ptr<Tier> _checkin;
     std::unique_ptr<Tier> _flight;
     std::unique_ptr<Tier> _baggage;
@@ -119,10 +185,12 @@ class FlightApp
     std::unique_ptr<Tier> _airport;  ///< MICA-backed Airport cache
     std::unique_ptr<Tier> _citizens; ///< MICA-backed Citizens cache
 
-    // Front-ends (client-only nodes).
+    // Front-ends (client-only nodes with their own single cores).
     rpc::DaggerNode *_passengerNode = nullptr;
+    std::unique_ptr<rpc::CpuSet> _passengerCpus;
     std::unique_ptr<rpc::RpcClient> _passengerClient;
     rpc::DaggerNode *_staffNode = nullptr;
+    std::unique_ptr<rpc::CpuSet> _staffCpus;
     std::unique_ptr<rpc::RpcClient> _staffClient;
     std::unique_ptr<app::KvsClient> _staffKvs;
 
@@ -141,12 +209,17 @@ class FlightApp
     std::unique_ptr<app::KvsServer> _airportSrv;
     std::unique_ptr<app::KvsServer> _citizensSrv;
 
-    // Worker pools (Optimized model).
+    // Worker pools (Optimized model: check-in / passport nested work).
     std::vector<std::unique_ptr<rpc::WorkerPool>> _pools;
+
+    // Storm driver (runStorm only).
+    std::unique_ptr<app::OpenLoopGen> _storm;
 
     sim::Histogram _e2e{"flight_e2e"};
     std::uint64_t _issued = 0;
     std::uint64_t _completed = 0;
+    std::uint64_t _completedDegraded = 0;
+    std::uint64_t _stormTimeouts = 0;
     std::uint64_t _staffReads = 0;
     std::uint64_t _nextPassenger = 1;
     double _krps = 0;

@@ -167,19 +167,32 @@ SocialNet::callTier(SoftRpcNode &from, unsigned tier, std::size_t req_bytes,
 }
 
 void
-SocialNet::composePost(sim::Tick t0)
+SocialNet::finishRequest(sim::Tick t0)
+{
+    _e2e.record(_eq.now() - t0);
+    ++_completed;
+    if (_inflight > 0)
+        --_inflight;
+}
+
+void
+SocialNet::composePost(sim::Tick t0, bool degraded)
 {
     // Fan-out from the front-end: UniqueID, Media, User, Text (which
-    // nests UserMention + UrlShorten).
-    auto remaining = std::make_shared<int>(4);
+    // nests UserMention + UrlShorten).  In degraded mode (front-end
+    // overload, see SnStormSpec::maxInflight) the Media leg is shed:
+    // the post goes up without its media attachment.
+    auto remaining = std::make_shared<int>(degraded ? 3 : 4);
     auto done = [this, remaining, t0](const Payload &) {
         if (--*remaining > 0)
             return;
-        _e2e.record(_eq.now() - t0);
-        ++_completed;
+        finishRequest(t0);
     };
     callTier(*_frontend, 2, sampleReqSize(2), done); // UniqueID
-    callTier(*_frontend, 0, sampleReqSize(0), done); // Media
+    if (!degraded)
+        callTier(*_frontend, 0, sampleReqSize(0), done); // Media
+    else
+        ++_degradedServed;
     callTier(*_frontend, 1, sampleReqSize(1), done); // User
     callTier(*_frontend, 3, sampleReqSize(3), done); // Text (nests)
 }
@@ -189,8 +202,7 @@ SocialNet::readTimeline(sim::Tick t0)
 {
     // Read paths touch the User tier (then storage, modeled in-cost).
     callTier(*_frontend, 1, sampleReqSize(1), [this, t0](const Payload &) {
-        _e2e.record(_eq.now() - t0);
-        ++_completed;
+        finishRequest(t0);
     });
 }
 
@@ -204,6 +216,7 @@ SocialNet::issueRequest()
         if (_eq.now() >= _stopAt)
             return;
         ++_issued;
+        ++_inflight;
         const sim::Tick t0 = _eq.now();
         const double mix = _rng.uniform();
         if (mix < _cfg.composeFraction)
@@ -227,6 +240,46 @@ SocialNet::run(double qps, sim::Tick duration, sim::Tick drain)
     _stopAt = _eq.now() + duration;
     issueRequest();
     _eq.runUntil(_stopAt + drain);
+}
+
+void
+SocialNet::runStorm(const SnStormSpec &spec)
+{
+    dagger_assert(spec.offeredQps > 0, "offered load must be positive");
+    dagger_assert(!_storm, "runStorm called twice");
+    _stopAt = _eq.now() + spec.duration;
+    _maxInflight = spec.maxInflight;
+
+    _storm = std::make_unique<app::OpenLoopGen>(_eq,
+                                                _cfg.seed ^ 0x73746f726dull);
+    app::TenantSpec tenant;
+    tenant.name = "users";
+    tenant.clients = spec.clients;
+    tenant.cohorts = spec.cohorts;
+    tenant.perClientRps =
+        spec.offeredQps / static_cast<double>(spec.clients);
+    // §3.2 mix rides the workload's GET ratio: a GET arrival is a
+    // timeline read, a SET is a compose post.
+    tenant.getRatio = 1.0 - _cfg.composeFraction;
+    tenant.diurnal = spec.diurnal;
+    // Timeline keys are not re-used by the model; keep the unused
+    // per-cohort key machinery tiny (zeta init is O(keySpace)).
+    tenant.keySpace = 1024;
+    _storm->addTenant(tenant);
+    _storm->start(_stopAt, [this](const app::OpenLoopCall &call) {
+        ++_issued;
+        ++_inflight;
+        const sim::Tick t0 = _eq.now();
+        if (call.op.isGet) {
+            readTimeline(t0);
+            return;
+        }
+        const bool degraded =
+            _maxInflight > 0 && _inflight > _maxInflight;
+        composePost(t0, degraded);
+    });
+
+    _eq.runUntil(_stopAt + spec.drain);
 }
 
 const baseline::ServeBreakdown &

@@ -22,6 +22,7 @@
 #include <array>
 #include <memory>
 
+#include "app/open_loop.hh"
 #include "baseline/soft_rpc_node.hh"
 #include "rpc/cpu.hh"
 #include "sim/event_queue.hh"
@@ -88,6 +89,25 @@ struct SocialNetConfig
     std::uint64_t seed = 0x736e6574ull;
 };
 
+/** Open-loop storm parameters (see app::OpenLoopGen). */
+struct SnStormSpec
+{
+    std::uint64_t clients = 1'048'576; ///< simulated user population
+    unsigned cohorts = 64;             ///< actors carrying it
+    double offeredQps = 600.0;         ///< aggregate peak arrival rate
+    sim::Tick duration = sim::msToTicks(200);
+    sim::Tick drain = sim::msToTicks(50);
+    app::DiurnalCurve diurnal;         ///< flat by default
+    /**
+     * Degraded-mode trigger: when more than this many requests are in
+     * flight at the front-end, compose posts shed their Media leg and
+     * complete degraded (0 = never degrade).  This is the §3 analogue
+     * of the Flight tiers' timeout budgets: the software stack has no
+     * per-call deadlines, so overload control happens at admission.
+     */
+    std::size_t maxInflight = 0;
+};
+
 /** The deployed model. */
 class SocialNet
 {
@@ -100,6 +120,13 @@ class SocialNet
     /** Drive an open-loop Poisson load of @p qps for @p duration. */
     void run(double qps, sim::Tick duration,
              sim::Tick drain = sim::msToTicks(50));
+
+    /**
+     * Drive a million-client open-loop storm (cohort actors, diurnal
+     * curve, §3.2 mix via the tenant's GET ratio).  May be called once
+     * per app, instead of run().
+     */
+    void runStorm(const SnStormSpec &spec);
 
     /** End-to-end request latency. */
     sim::Histogram &e2eLatency() { return _e2e; }
@@ -123,13 +150,18 @@ class SocialNet
 
     std::uint64_t issued() const { return _issued; }
     std::uint64_t completed() const { return _completed; }
+    /** Compose posts served without their Media leg (overload mode). */
+    std::uint64_t degradedServed() const { return _degradedServed; }
+    /** Requests issued but not yet completed. */
+    std::uint64_t inflight() const { return _inflight; }
     sim::EventQueue &eq() { return _eq; }
 
   private:
     void build();
     void issueRequest();
-    void composePost(sim::Tick t0);
+    void composePost(sim::Tick t0, bool degraded = false);
     void readTimeline(sim::Tick t0);
+    void finishRequest(sim::Tick t0);
 
     /** Issue one sized call and record size stats. */
     void callTier(baseline::SoftRpcNode &from, unsigned tier,
@@ -153,8 +185,14 @@ class SocialNet
     sim::Histogram _allResp{"all_resp_bytes"};
     sim::Histogram _e2e{"socialnet_e2e"};
 
+    // Storm driver (runStorm only).
+    std::unique_ptr<app::OpenLoopGen> _storm;
+
     std::uint64_t _issued = 0;
     std::uint64_t _completed = 0;
+    std::uint64_t _degradedServed = 0;
+    std::uint64_t _inflight = 0;
+    std::size_t _maxInflight = 0;
     double _qps = 0;
     sim::Tick _stopAt = 0;
 };

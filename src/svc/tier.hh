@@ -49,6 +49,19 @@ class Tier
          unsigned downstreams, nic::NicConfig cfg = {},
          nic::SoftConfig soft = {});
 
+    /**
+     * Shard-safe construction: the tier owns a CpuSet of @p cores
+     * cores created on its *own node's* event queue (core 0 thread 0
+     * becomes the dispatch thread).  On a sharded DaggerSystem every
+     * tier's software then runs in the tier's shard domain — the
+     * external-dispatch constructor above can only place threads in
+     * whatever domain the caller's CpuSet lives in, which is wrong the
+     * moment shards > 1.  At shards == 1 both constructors schedule on
+     * the same single queue and behave identically.
+     */
+    Tier(rpc::DaggerSystem &sys, std::string name, unsigned downstreams,
+         unsigned cores, nic::NicConfig cfg = {}, nic::SoftConfig soft = {});
+
     /** Connect the next free client flow to @p server_tier. */
     rpc::RpcClient &connectTo(Tier &server_tier,
                               nic::LbScheme lb = nic::LbScheme::RoundRobin);
@@ -57,28 +70,57 @@ class Tier
     void useWorkerPool(std::vector<rpc::HwThread *> workers);
 
     /**
+     * Apply the Optimized threading model with @p workers threads from
+     * this tier's own CpuSet (cores 1..workers; requires the shard-safe
+     * constructor and cores > workers).
+     */
+    void useWorkerPool(unsigned workers);
+
+    /**
      * Apply a timeout/retry policy to every downstream client, current
      * and future.  Budget-exhausted downstream calls count as degraded
      * (the tier served its caller without that dependency).
      */
     void setRetryPolicy(rpc::RetryPolicy policy);
 
+    /**
+     * Derive the retry policy from an end-to-end downstream budget:
+     * with doubling backoff, first-attempt timeout T and @p attempts
+     * resends, the worst-case wait is T * (2^(attempts+1) - 1) — so T
+     * is sized such that the whole retry ladder completes within
+     * @p total.  After the budget the call is degraded, never stuck.
+     */
+    void setTimeoutBudget(sim::Tick total, unsigned attempts);
+
+    /** Bound this tier's RX backlog (admission control). */
+    void setShedPolicy(rpc::ShedPolicy policy);
+
     /** Downstream calls that exhausted their retry budget. */
     std::uint64_t degradedCalls() const;
+
+    /** Requests dropped by the shed policy. */
+    std::uint64_t shedCalls() const { return _server->totalShed(); }
 
     rpc::RpcThreadedServer &server() { return *_server; }
     rpc::RpcServerThread &serverThread() { return _server->serverThread(0); }
     rpc::DaggerNode &node() { return *_node; }
-    rpc::HwThread &dispatchThread() { return _dispatch; }
+    rpc::HwThread &dispatchThread() { return *_dispatch; }
+    /** Core @p i of the tier-owned CpuSet (shard-safe ctor only). */
+    rpc::CpuCore &ownCore(unsigned i);
     const std::string &name() const { return _name; }
     rpc::WorkerPool *workerPool() { return _pool.get(); }
     Tracer &tracer() { return _tracer; }
 
   private:
+    void registerMetrics();
+
     rpc::DaggerSystem &_sys;
     std::string _name;
-    rpc::HwThread &_dispatch;
     rpc::DaggerNode *_node;
+    /** Set by the shard-safe constructor; threads live in the node's
+     *  shard domain. */
+    std::unique_ptr<rpc::CpuSet> _ownCpus;
+    rpc::HwThread *_dispatch;
     std::unique_ptr<rpc::RpcThreadedServer> _server;
     std::vector<std::unique_ptr<rpc::RpcClient>> _clients;
     std::unique_ptr<rpc::WorkerPool> _pool;

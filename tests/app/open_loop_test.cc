@@ -1,0 +1,188 @@
+/**
+ * @file
+ * OpenLoopGen tests: cohort-actor compression of million-client
+ * populations, same-seed determinism, arrival-rate fidelity, diurnal
+ * shaping, and per-tenant mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/open_loop.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace dagger;
+using namespace dagger::app;
+using sim::msToTicks;
+using sim::usToTicks;
+
+struct Arrival
+{
+    sim::Tick at;
+    unsigned tenant;
+    unsigned cohort;
+    std::uint64_t client;
+    std::uint64_t keyIndex;
+    bool isGet;
+
+    bool
+    operator==(const Arrival &o) const
+    {
+        return at == o.at && tenant == o.tenant && cohort == o.cohort &&
+               client == o.client && keyIndex == o.keyIndex &&
+               isGet == o.isGet;
+    }
+};
+
+std::vector<Arrival>
+trace(std::uint64_t seed, sim::Tick duration, const TenantSpec &spec)
+{
+    sim::EventQueue eq;
+    OpenLoopGen gen(eq, seed);
+    gen.addTenant(spec);
+    std::vector<Arrival> out;
+    gen.start(duration, [&](const OpenLoopCall &c) {
+        out.push_back(Arrival{eq.now(), c.tenant, c.cohort, c.client,
+                              c.op.keyIndex, c.op.isGet});
+    });
+    eq.runUntil(duration);
+    return out;
+}
+
+TEST(OpenLoopGen, MillionClientsViaCohortActors)
+{
+    TenantSpec spec;
+    spec.clients = 1'048'576; // 2^20 simulated clients
+    spec.cohorts = 64;
+    spec.perClientRps = 20.0; // ~21 Mrps aggregate, ~21k in 1 ms
+    spec.keySpace = 10'000;
+
+    sim::EventQueue eq;
+    OpenLoopGen gen(eq, 0x510);
+    gen.addTenant(spec);
+    // The memory story: 2^20 clients are carried by 64 actors.
+    EXPECT_EQ(gen.cohortCount(), 64u);
+    EXPECT_EQ(gen.clientCount(), 1'048'576u);
+
+    std::uint64_t max_client = 0;
+    std::uint64_t arrivals = 0;
+    gen.start(msToTicks(1), [&](const OpenLoopCall &c) {
+        ++arrivals;
+        max_client = std::max(max_client, c.client);
+        EXPECT_LT(c.client, spec.clients);
+        EXPECT_LT(c.op.keyIndex, spec.keySpace);
+    });
+    eq.runUntil(msToTicks(1));
+
+    // ~20971 expected arrivals; Poisson sd ~145.
+    EXPECT_GT(arrivals, 20'000u);
+    EXPECT_LT(arrivals, 22'000u);
+    EXPECT_EQ(gen.issued(), arrivals);
+    // Client draws actually span the million-client space.
+    EXPECT_GT(max_client, spec.clients / 2);
+}
+
+TEST(OpenLoopGen, SameSeedSameTraceDifferentSeedDiffers)
+{
+    TenantSpec spec;
+    spec.clients = 100'000;
+    spec.cohorts = 16;
+    spec.perClientRps = 50.0;
+    spec.keySpace = 1'000;
+    spec.getRatio = 0.8;
+
+    const auto a = trace(0xabc, msToTicks(2), spec);
+    const auto b = trace(0xabc, msToTicks(2), spec);
+    const auto c = trace(0xdef, msToTicks(2), spec);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(OpenLoopGen, DiurnalCurveShapesArrivals)
+{
+    TenantSpec spec;
+    spec.clients = 50'000;
+    spec.cohorts = 8;
+    spec.perClientRps = 100.0;
+    spec.diurnal.period = msToTicks(2);
+    spec.diurnal.low = 0.2;
+    spec.diurnal.high = 1.0;
+
+    // Quarters 1+4 straddle the trough (t=0), quarters 2+3 the peak.
+    const auto arr = trace(0xd1, msToTicks(2), spec);
+    std::uint64_t trough = 0, peak = 0;
+    for (const Arrival &a : arr) {
+        const sim::Tick q = msToTicks(2) / 4;
+        if (a.at < q || a.at >= 3 * q)
+            ++trough;
+        else
+            ++peak;
+    }
+    ASSERT_GT(arr.size(), 1000u);
+    // Raised cosine: the peak half carries several times the trough.
+    EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(OpenLoopGen, PerTenantMixesAreIndependent)
+{
+    TenantSpec readers;
+    readers.name = "readers";
+    readers.clients = 10'000;
+    readers.cohorts = 4;
+    readers.perClientRps = 200.0;
+    readers.getRatio = 1.0;
+
+    TenantSpec writers = readers;
+    writers.name = "writers";
+    writers.getRatio = 0.0;
+
+    sim::EventQueue eq;
+    OpenLoopGen gen(eq, 0x3e7);
+    const unsigned t_read = gen.addTenant(readers);
+    const unsigned t_write = gen.addTenant(writers);
+    EXPECT_EQ(gen.cohortCount(), 8u);
+
+    std::uint64_t read_gets = 0, read_total = 0;
+    std::uint64_t write_sets = 0, write_total = 0;
+    gen.start(msToTicks(1), [&](const OpenLoopCall &c) {
+        if (c.tenant == t_read) {
+            ++read_total;
+            read_gets += c.op.isGet;
+        } else {
+            ASSERT_EQ(c.tenant, t_write);
+            ++write_total;
+            write_sets += !c.op.isGet;
+            EXPECT_FALSE(c.op.value.empty());
+        }
+    });
+    eq.runUntil(msToTicks(1));
+
+    ASSERT_GT(read_total, 500u);
+    ASSERT_GT(write_total, 500u);
+    EXPECT_EQ(read_gets, read_total);
+    EXPECT_EQ(write_sets, write_total);
+}
+
+TEST(OpenLoopGen, ZipfSkewConcentratesOnHotKeys)
+{
+    TenantSpec spec;
+    spec.clients = 10'000;
+    spec.cohorts = 4;
+    spec.perClientRps = 500.0;
+    spec.keySpace = 10'000;
+    spec.zipfTheta = 0.99;
+
+    const auto arr = trace(0x21f, msToTicks(1), spec);
+    ASSERT_GT(arr.size(), 2000u);
+    std::uint64_t hot = 0;
+    for (const Arrival &a : arr)
+        hot += a.keyIndex < spec.keySpace / 100; // hottest 1%
+    // Zipf(0.99): the hottest 1% of keys draws far more than 1%.
+    EXPECT_GT(hot * 5, arr.size());
+}
+
+} // namespace

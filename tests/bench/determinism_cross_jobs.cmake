@@ -11,13 +11,16 @@ if(NOT BENCH OR NOT WORKDIR)
     message(FATAL_ERROR "usage: cmake -DBENCH=... -DWORKDIR=... -P ...")
 endif()
 
-set(json1 ${WORKDIR}/determinism_jobs1.json)
-set(json8 ${WORKDIR}/determinism_jobs8.json)
+# Namespace scratch files by bench so several registrations of this
+# script can run under one parallel ctest invocation.
+get_filename_component(stem ${BENCH} NAME_WE)
+set(json1 ${WORKDIR}/${stem}_jobs1.json)
+set(json8 ${WORKDIR}/${stem}_jobs8.json)
 
 foreach(jobs IN ITEMS 1 8)
     execute_process(
         COMMAND ${BENCH} --jobs ${jobs} --json
-                ${WORKDIR}/determinism_jobs${jobs}.json
+                ${WORKDIR}/${stem}_jobs${jobs}.json
         RESULT_VARIABLE rc
         OUTPUT_QUIET)
     if(NOT rc EQUAL 0)
